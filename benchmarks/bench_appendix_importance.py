@@ -1,0 +1,44 @@
+"""Appendix: clique-feature importance analysis (paper Sect. IV-E).
+
+Permutation importance of the 23 multiplicity-aware features on the
+enron analogue.  Expected shape (per the paper's discussion and the
+MARIOH-M ablation): the multiplicity-derived groups (edge multiplicity,
+MHH, MHH portion) carry a substantial share of the classifier's signal.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.datasets import load
+from repro.experiments.importance import (
+    grouped_importance,
+    multiplicity_share,
+    permutation_importance,
+)
+
+
+def test_appendix_feature_importance(benchmark):
+    bundle = load("enron", seed=0)
+    importance = benchmark.pedantic(
+        lambda: permutation_importance(
+            bundle.source_hypergraph, n_repeats=5, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    groups = grouped_importance(importance)
+    share = multiplicity_share(importance)
+
+    lines = ["Appendix - permutation feature importance (AUC drop)"]
+    for name, value in sorted(importance.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {name:<26} {value:+.4f}")
+    lines.append("\ngrouped:")
+    for name, value in sorted(groups.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {name:<26} {value:+.4f}")
+    lines.append(f"\nmultiplicity-feature share: {share:.1%}")
+    emit("appendix_importance", "\n".join(lines))
+
+    # Shape: multiplicity-derived features carry a meaningful share of
+    # the signal (the paper's MARIOH-M ablation implies the same).
+    assert share > 0.25

@@ -1,0 +1,67 @@
+"""Extension: overlap profiles as domain fingerprints.
+
+The paper attributes transferability to shared domain structure.  This
+bench computes the hyperedge-overlap profile of every dataset and checks
+the fingerprint property: datasets from the same domain family sit
+closer to each other than to other families - the precondition for the
+Table V transfer results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.datasets import available, load
+from repro.metrics.motifs import pairwise_overlap_profile, profile_distance
+
+FAMILIES = {
+    "co-authorship": ("dblp", "mag-topcs", "mag-history", "mag-geology"),
+    "contact": ("pschool", "hschool", "enron"),
+    "affiliation": ("crime", "hosts", "directors", "foursquare"),
+}
+
+
+def test_ext_domain_fingerprints(benchmark):
+    def run():
+        return {
+            name: pairwise_overlap_profile(load(name, seed=0).hypergraph)
+            for name in available()
+        }
+
+    profiles = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["Extension - hyperedge-overlap profiles (domain fingerprints)"]
+    keys = ("frac_nested", "mean_jaccard", "intersecting_rate", "mean_size")
+    header = f"{'dataset':<14}" + "".join(f"{k:>20}" for k in keys)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in sorted(profiles):
+        row = f"{name:<14}"
+        for key in keys:
+            row += f"{profiles[name][key]:>20.3f}"
+        lines.append(row)
+
+    # Within- vs cross-family mean distances.
+    def family_of(name):
+        for family, members in FAMILIES.items():
+            if name in members:
+                return family
+        return None
+
+    within, across = [], []
+    names = sorted(profiles)
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            fam_a, fam_b = family_of(a), family_of(b)
+            if fam_a is None or fam_b is None:
+                continue
+            distance = profile_distance(profiles[a], profiles[b])
+            (within if fam_a == fam_b else across).append(distance)
+    lines.append("")
+    lines.append(f"mean within-family distance: {np.mean(within):.3f}")
+    lines.append(f"mean cross-family distance:  {np.mean(across):.3f}")
+    emit("ext_domains", "\n".join(lines))
+
+    # Shape: the fingerprint property.
+    assert float(np.mean(within)) < float(np.mean(across))

@@ -1,0 +1,46 @@
+"""Ablation: sensitivity to the negative-sampling ratio.
+
+The paper defers its negative-sampling strategy to the appendix; our
+documented strategy caps negatives at ``negative_ratio x`` positives.
+This bench sweeps that ratio.  Expected shape: flat - the classifier's
+decision quality should not hinge on the exact ratio, mirroring the
+paper's general robustness claims (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.core.marioh import MARIOH
+from repro.datasets import load
+from repro.metrics.jaccard import jaccard_similarity
+from repro.viz import series_table
+
+RATIOS = (0.5, 1.0, 2.0, 4.0)
+DATASET_NAMES = ("enron", "dblp")
+
+
+def _score(bundle, ratio):
+    model = MARIOH(seed=0, negative_ratio=ratio)
+    reconstruction = model.fit_reconstruct(
+        bundle.source_hypergraph.reduce_multiplicity(),
+        bundle.target_graph_reduced,
+    )
+    return jaccard_similarity(bundle.target_hypergraph_reduced, reconstruction)
+
+
+def test_ext_negative_ratio(benchmark):
+    def run():
+        return {
+            name: [(ratio, _score(load(name, seed=0), ratio)) for ratio in RATIOS]
+            for name in DATASET_NAMES
+        }
+
+    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ext_negative_ratio",
+        series_table(sweeps, title="Ablation - negative-sampling ratio sweep"),
+    )
+    for name, points in sweeps.items():
+        scores = [score for _, score in points]
+        assert max(scores) - min(scores) < 0.3, name

@@ -1,0 +1,62 @@
+"""Fig. 5: average runtime of MARIOH and its competitors.
+
+Times every method across the dataset analogues.  Expected shape: the
+clique-decomposition baselines are fastest; MARIOH sits in the middle of
+the reconstruction methods, well below SHyRe-Unsup's iterative search on
+repetition-heavy data (where one-clique-at-a-time ranking degenerates).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.datasets import load
+from repro.experiments import run_method
+
+DATASET_NAMES = ["crime", "hosts", "enron", "eu"]
+METHODS = [
+    "CFinder",
+    "Demon",
+    "MaxClique",
+    "CliqueCovering",
+    "Bayesian-MDL",
+    "SHyRe-Unsup",
+    "SHyRe-Motif",
+    "SHyRe-Count",
+    "MARIOH",
+]
+
+
+def _run_all_methods():
+    runtimes = {method: [] for method in METHODS}
+    for name in DATASET_NAMES:
+        bundle = load(name, seed=0)
+        for method in METHODS:
+            result = run_method(method, bundle, seed=0)
+            runtimes[method].append(result.runtime_seconds)
+    return runtimes
+
+
+def test_fig5_runtime(benchmark):
+    runtimes = benchmark.pedantic(_run_all_methods, rounds=1, iterations=1)
+    lines = ["Fig. 5 - average runtime (seconds) across datasets"]
+    for method in METHODS:
+        lines.append(
+            f"{method:<16} {np.mean(runtimes[method]):8.3f}s "
+            f"(per-dataset: "
+            + " ".join(f"{t:.3f}" for t in runtimes[method])
+            + ")"
+        )
+    emit("fig5_runtime", "\n".join(lines))
+
+    # Shape: the simple clique baselines run faster than MARIOH.
+    assert np.mean(runtimes["MaxClique"]) <= np.mean(runtimes["MARIOH"])
+
+
+def test_fig5_marioh_runtime(benchmark):
+    bundle = load("eu", seed=0)
+    result = benchmark.pedantic(
+        lambda: run_method("MARIOH", bundle, seed=0), rounds=1, iterations=1
+    )
+    assert result.runtime_seconds < 120.0

@@ -1,0 +1,81 @@
+"""Fig. 6: runtime breakdown of MARIOH vs SHyRe-Count.
+
+Per-stage timings: MARIOH splits into train / filtering / bidirectional;
+SHyRe-Count into train / inference.  Expected shape: MARIOH's
+bidirectional-search stage dominates its runtime on dense data, while
+its filtering stage is negligible - matching the paper's stacked bars.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit
+
+from repro.baselines import ShyreCount
+from repro.core.marioh import MARIOH
+from repro.datasets import load
+
+DATASET_NAMES = ["crime", "enron", "eu"]
+
+
+def _marioh_breakdown(bundle):
+    model = MARIOH(seed=0)
+    source = bundle.source_hypergraph.reduce_multiplicity()
+    model.fit(source)
+    model.reconstruct(bundle.target_graph_reduced)
+    return dict(model.stage_times_)
+
+
+def _shyre_breakdown(bundle):
+    method = ShyreCount(seed=0)
+    source = bundle.source_hypergraph.reduce_multiplicity()
+    started = time.perf_counter()
+    method.fit(source)
+    train = time.perf_counter() - started
+    started = time.perf_counter()
+    method.reconstruct(bundle.target_graph_reduced)
+    inference = time.perf_counter() - started
+    return {"train": train, "inference": inference}
+
+
+def _run_breakdowns():
+    results = {}
+    for name in DATASET_NAMES:
+        bundle = load(name, seed=0)
+        results[name] = (_marioh_breakdown(bundle), _shyre_breakdown(bundle))
+    return results
+
+
+def test_fig6_breakdown(benchmark):
+    results = benchmark.pedantic(_run_breakdowns, rounds=1, iterations=1)
+    lines = ["Fig. 6 - per-stage runtime breakdown (seconds)"]
+    for name in DATASET_NAMES:
+        marioh, shyre = results[name]
+        lines.append(f"\n[{name}]")
+        lines.append(
+            f"  MARIOH       load_sample={marioh['load_sample']:.3f} "
+            f"train={marioh['train']:.3f} "
+            f"filtering={marioh['filtering']:.3f} "
+            f"bidirectional={marioh['bidirectional']:.3f}"
+        )
+        lines.append(
+            f"  SHyRe-Count  train={shyre['train']:.3f} "
+            f"inference={shyre['inference']:.3f}"
+        )
+        # Shape: filtering is cheap relative to the search loop.
+        assert marioh["filtering"] <= marioh["bidirectional"] + 1e-3, name
+    emit("fig6_breakdown", "\n".join(lines))
+
+
+def test_fig6_breakdown_cell(benchmark):
+    bundle = load("enron", seed=0)
+    breakdown = benchmark.pedantic(
+        lambda: _marioh_breakdown(bundle), rounds=1, iterations=1
+    )
+    assert set(breakdown) == {
+        "load_sample",
+        "train",
+        "filtering",
+        "bidirectional",
+    }

@@ -1,0 +1,74 @@
+"""Fig. 7: scalability of the Filtering and Bidirectional Search steps.
+
+HyperCL-generated inputs with DBLP-analogue statistics at growing scales;
+both stages' runtimes should grow near-linearly in the number of
+projected edges (log-log slope close to 1, and certainly below 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.core.marioh import MARIOH
+from repro.datasets import load
+from repro.datasets.hypercl import hypercl_like
+from repro.hypergraph.projection import project
+
+SCALES = [0.5, 1.0, 2.0, 4.0]
+
+
+def _measure():
+    base = load("dblp", seed=0)
+    model = MARIOH(seed=0)
+    model.fit(base.source_hypergraph.reduce_multiplicity())
+
+    edge_counts, filtering_times, search_times = [], [], []
+    for scale in SCALES:
+        hypergraph = hypercl_like(base.hypergraph, scale=scale, seed=0)
+        graph = project(hypergraph)
+        model.reconstruct(graph)
+        edge_counts.append(graph.num_edges)
+        filtering_times.append(max(model.stage_times_["filtering"], 1e-6))
+        search_times.append(max(model.stage_times_["bidirectional"], 1e-6))
+    return edge_counts, filtering_times, search_times
+
+
+def _loglog_slope(xs, ys):
+    log_x = np.log(np.asarray(xs, dtype=float))
+    log_y = np.log(np.asarray(ys, dtype=float))
+    slope, _ = np.polyfit(log_x, log_y, 1)
+    return float(slope)
+
+
+def test_fig7_scalability(benchmark):
+    edge_counts, filtering_times, search_times = benchmark.pedantic(
+        _measure, rounds=1, iterations=1
+    )
+    filtering_slope = _loglog_slope(edge_counts, filtering_times)
+    search_slope = _loglog_slope(edge_counts, search_times)
+
+    lines = ["Fig. 7 - scalability (runtime vs |E_G|)"]
+    lines.append(f"{'|E_G|':>10} {'filtering(s)':>14} {'bidirectional(s)':>18}")
+    for count, f_time, s_time in zip(edge_counts, filtering_times, search_times):
+        lines.append(f"{count:>10d} {f_time:>14.4f} {s_time:>18.4f}")
+    lines.append(f"\nlog-log slope filtering      = {filtering_slope:.2f}")
+    lines.append(f"log-log slope bidirectional  = {search_slope:.2f}")
+    emit("fig7_scalability", "\n".join(lines))
+
+    # Shape: near-linear scaling.  Timing noise on small inputs pushes
+    # slopes around, so assert sub-quadratic with a healthy margin.
+    assert filtering_slope < 2.0
+    assert search_slope < 2.0
+
+
+def test_fig7_largest_scale(benchmark):
+    base = load("dblp", seed=0)
+    model = MARIOH(seed=0)
+    model.fit(base.source_hypergraph.reduce_multiplicity())
+    hypergraph = hypercl_like(base.hypergraph, scale=4.0, seed=0)
+    graph = project(hypergraph)
+    reconstruction = benchmark.pedantic(
+        lambda: model.reconstruct(graph), rounds=1, iterations=1
+    )
+    assert project(reconstruction) == graph

@@ -1,0 +1,77 @@
+"""Table IV: preservation of structural properties.
+
+For each reconstruction method, the per-property preservation error
+(normalized difference for scalars, KS D-statistic for distributions)
+averaged over datasets.  Expected shape: MARIOH has the lowest (or near
+lowest) average error; Bayesian-MDL and SHyRe trail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.datasets import load
+from repro.experiments import run_method
+from repro.metrics.structure import (
+    DISTRIBUTIONAL_PROPERTIES,
+    SCALAR_PROPERTIES,
+    structure_preservation_report,
+)
+
+DATASET_NAMES = ["crime", "hosts", "enron", "dblp"]
+METHODS = ["Bayesian-MDL", "SHyRe-Count", "SHyRe-Unsup", "MARIOH"]
+
+
+def _collect():
+    per_method = {method: [] for method in METHODS}
+    for name in DATASET_NAMES:
+        bundle = load(name, seed=0)
+        for method in METHODS:
+            result = run_method(method, bundle, seed=0)
+            report = structure_preservation_report(
+                bundle.target_hypergraph_reduced, result.reconstruction
+            )
+            per_method[method].append(report)
+    return per_method
+
+
+def test_table4_structure_preservation(benchmark):
+    per_method = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    properties = list(SCALAR_PROPERTIES + DISTRIBUTIONAL_PROPERTIES)
+    lines = ["Table IV - structural-property preservation error (lower is better)"]
+    header = f"{'Property':<28}" + "".join(f"{m:>16}" for m in METHODS)
+    lines.append(header)
+    lines.append("-" * len(header))
+    averages = {}
+    for prop in properties:
+        row = f"{prop:<28}"
+        for method in METHODS:
+            values = [report[prop] for report in per_method[method]]
+            row += f"{np.mean(values):8.3f}±{np.std(values):5.3f}  "
+        lines.append(row)
+    row = f"{'average_overall':<28}"
+    for method in METHODS:
+        values = [report["average_overall"] for report in per_method[method]]
+        averages[method] = float(np.mean(values))
+        row += f"{np.mean(values):8.3f}±{np.std(values):5.3f}  "
+    lines.append(row)
+    emit("table4_structure", "\n".join(lines))
+
+    # Shape: MARIOH's overall preservation error is the lowest or within
+    # a small band of the best method.
+    best = min(averages.values())
+    assert averages["MARIOH"] <= best + 0.05
+
+
+def test_table4_report_cell(benchmark):
+    bundle = load("hosts", seed=0)
+    result = run_method("MARIOH", bundle, seed=0)
+    report = benchmark.pedantic(
+        lambda: structure_preservation_report(
+            bundle.target_hypergraph_reduced, result.reconstruction
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert 0.0 <= report["average_overall"] <= 1.0

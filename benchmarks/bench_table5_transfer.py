@@ -1,0 +1,75 @@
+"""Table V: transfer-learning performance.
+
+Train on one dataset, reconstruct a *different* dataset from the same
+domain.  Expected shape: MARIOH transfers best (highest Jaccard on every
+source -> target pair), with SHyRe-Count second among supervised methods.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.core.marioh import MARIOH
+from repro.baselines import ShyreCount
+from repro.datasets import load
+from repro.metrics.jaccard import jaccard_similarity
+
+#: (source, target) pairs mirroring the paper's domain groupings.
+TRANSFER_PAIRS = [
+    ("dblp", "mag-history"),
+    ("dblp", "mag-topcs"),
+    ("dblp", "mag-geology"),
+    ("eu", "enron"),
+    ("pschool", "hschool"),
+]
+
+
+def _transfer_score(method_factory, source_name, target_name, seed=0):
+    source = load(source_name, seed=seed)
+    target = load(target_name, seed=seed)
+    method = method_factory()
+    method.fit(source.source_hypergraph.reduce_multiplicity())
+    reconstruction = method.reconstruct(target.target_graph_reduced)
+    return 100.0 * jaccard_similarity(
+        target.target_hypergraph_reduced, reconstruction
+    )
+
+
+def _run_transfer_sweep():
+    rows = []
+    for source_name, target_name in TRANSFER_PAIRS:
+        shyre = _transfer_score(
+            lambda: ShyreCount(seed=0), source_name, target_name
+        )
+        marioh = _transfer_score(
+            lambda: MARIOH(seed=0), source_name, target_name
+        )
+        rows.append((source_name, target_name, shyre, marioh))
+    return rows
+
+
+def test_table5_transfer(benchmark):
+    rows = benchmark.pedantic(_run_transfer_sweep, rounds=1, iterations=1)
+    lines = ["Table V - transfer learning (Jaccard x100)"]
+    header = f"{'Source->Target':<26}{'SHyRe-Count':>14}{'MARIOH':>14}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    wins = 0
+    for source_name, target_name, shyre, marioh in rows:
+        lines.append(
+            f"{source_name + '->' + target_name:<26}{shyre:>14.2f}{marioh:>14.2f}"
+        )
+        if marioh >= shyre - 1e-9:
+            wins += 1
+    emit("table5_transfer", "\n".join(lines))
+    # Shape: MARIOH transfers at least as well on the large majority.
+    assert wins >= len(TRANSFER_PAIRS) - 1
+
+
+def test_table5_transfer_cell(benchmark):
+    score = benchmark.pedantic(
+        lambda: _transfer_score(lambda: MARIOH(seed=0), "dblp", "mag-topcs"),
+        rounds=1,
+        iterations=1,
+    )
+    assert score > 40.0

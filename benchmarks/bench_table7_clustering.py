@@ -1,0 +1,77 @@
+"""Table VII: node clustering performance (NMI).
+
+Spectral clustering on the projected graph, on reconstructed hypergraphs
+(SHyRe-Count, SHyRe-Unsup, MARIOH), and on the ground-truth hypergraph,
+for the labeled school-contact analogues.  Expected shape: the ground
+truth is best, MARIOH's reconstruction comes closest to it, and all
+hypergraph inputs beat the raw projected graph.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.datasets import load
+from repro.downstream.clustering import spectral_clustering_nmi
+from repro.experiments import run_method
+
+DATASET_NAMES = ["pschool", "hschool"]
+RECON_METHODS = ["SHyRe-Unsup", "SHyRe-Count", "MARIOH"]
+
+
+def _rows():
+    rows = {}
+    for name in DATASET_NAMES:
+        bundle = load(name, seed=0)
+        labels = bundle.labels
+        assert labels is not None
+        column = {}
+        column["Projected graph G"] = spectral_clustering_nmi(
+            bundle.target_graph_reduced, labels, seed=0
+        )
+        for method in RECON_METHODS:
+            result = run_method(method, bundle, seed=0)
+            column[f"H by {method}"] = spectral_clustering_nmi(
+                result.reconstruction, labels, seed=0
+            )
+        column["Original hypergraph H"] = spectral_clustering_nmi(
+            bundle.target_hypergraph_reduced, labels, seed=0
+        )
+        rows[name] = column
+    return rows
+
+
+def test_table7_clustering(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    inputs = list(next(iter(rows.values())))
+    lines = ["Table VII - node clustering NMI"]
+    header = f"{'Input':<26}" + "".join(f"{d:>12}" for d in DATASET_NAMES)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for input_name in inputs:
+        row = f"{input_name:<26}"
+        for dataset in DATASET_NAMES:
+            row += f"{rows[dataset][input_name]:>12.4f}"
+        lines.append(row)
+    emit("table7_clustering", "\n".join(lines))
+
+    for dataset in DATASET_NAMES:
+        column = rows[dataset]
+        # MARIOH's reconstruction must get close to the ground truth...
+        assert column["H by MARIOH"] >= column["Original hypergraph H"] - 0.15
+        # ...and the best reconstruction should not trail the projected
+        # graph badly (higher-order information helps clustering).
+        best_recon = max(column[f"H by {m}"] for m in RECON_METHODS)
+        assert best_recon >= column["Projected graph G"] - 0.10
+
+
+def test_table7_clustering_cell(benchmark):
+    bundle = load("pschool", seed=0)
+    nmi = benchmark.pedantic(
+        lambda: spectral_clustering_nmi(
+            bundle.target_hypergraph_reduced, bundle.labels, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert nmi > 0.5

@@ -1,0 +1,62 @@
+"""Fig. 1 made exact: how multiplicity collapses the candidate space.
+
+The paper's Fig. 1 argues that knowing edge multiplicities sharply
+limits which hypergraphs could have produced an observed projected
+graph, while unknown multiplicities admit infinitely many candidates.
+On a didactic triangle we can enumerate the candidates *exactly*.
+
+Run:  python examples/candidate_space_demo.py
+"""
+
+from repro.core.enumeration import (
+    count_without_multiplicity,
+    enumerate_consistent_hypergraphs,
+)
+from repro.hypergraph.graph import WeightedGraph
+
+
+def triangle(weight):
+    graph = WeightedGraph()
+    for u, v in [(0, 1), (1, 2), (0, 2)]:
+        graph.add_edge(u, v, weight)
+    return graph
+
+
+def describe(hypergraph):
+    parts = []
+    for edge, multiplicity in sorted(hypergraph.items(), key=lambda i: sorted(i[0])):
+        suffix = f" x{multiplicity}" if multiplicity > 1 else ""
+        parts.append(f"{set(sorted(edge))}{suffix}")
+    return " + ".join(parts) if parts else "(empty)"
+
+
+def main() -> None:
+    print("observed: a triangle on nodes {0, 1, 2}\n")
+
+    for weight in (1, 2):
+        graph = triangle(weight)
+        candidates = enumerate_consistent_hypergraphs(graph)
+        print(f"all edge multiplicities known to be {weight}:")
+        print(f"  {len(candidates)} consistent hypergraphs:")
+        for hypergraph in candidates:
+            print(f"    - {describe(hypergraph)}")
+        print()
+
+    print("edge multiplicities unknown (each edge appeared >= 1 time):")
+    for budget in (3, 4, 5, 6):
+        count = count_without_multiplicity(triangle(1), max_total_weight=budget)
+        print(f"  candidates with total weight <= {budget}: {count}")
+    print(
+        "  ... growing without bound - the paper's 'infinitely many "
+        "cases'.\n"
+    )
+    print(
+        "this is why MARIOH insists on the *weighted* projected graph: "
+        "multiplicity turns an unbounded search space into a small "
+        "enumerable one, and the MHH bound (Lemma 1-2) then certifies "
+        "part of the answer outright."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Case studies on the Crime and Hosts analogues (paper appendix).
+
+The paper's online appendix complements the Fig. 2 DBLP case study with
+Host-virus and Crime examples.  This script reconstructs both analogues,
+then zooms into the neighborhoods where MARIOH and SHyRe-Count disagree,
+showing *what kind* of hyperedges each method gets wrong.
+
+Run:  python examples/case_studies.py
+"""
+
+from collections import Counter
+
+from repro.baselines import ShyreCount
+from repro.core.marioh import MARIOH
+from repro.datasets import load
+from repro.metrics import jaccard_similarity
+
+
+def describe_errors(truth, reconstruction):
+    """Histogram missed/spurious hyperedges by size."""
+    missed = Counter(len(e) for e in set(truth.edges()) - set(reconstruction.edges()))
+    spurious = Counter(
+        len(e) for e in set(reconstruction.edges()) - set(truth.edges())
+    )
+    return missed, spurious
+
+
+def run_case_study(name: str) -> None:
+    bundle = load(name, seed=0)
+    truth = bundle.target_hypergraph_reduced
+    graph = bundle.target_graph_reduced
+    source = bundle.source_hypergraph.reduce_multiplicity()
+    print(f"\n=== {name} ===")
+    print(
+        f"target: {truth.num_unique_edges} hyperedges over "
+        f"{len([n for n in truth.nodes if truth.unique_degree(n)])} active nodes"
+    )
+
+    for label, method in [
+        ("SHyRe-Count", ShyreCount(seed=0)),
+        ("MARIOH", MARIOH(seed=0)),
+    ]:
+        method.fit(source)
+        reconstruction = method.reconstruct(graph)
+        score = jaccard_similarity(truth, reconstruction)
+        missed, spurious = describe_errors(truth, reconstruction)
+        print(f"\n{label}: Jaccard = {score:.3f}")
+        if missed:
+            print(f"  missed by size:   {dict(sorted(missed.items()))}")
+        if spurious:
+            print(f"  spurious by size: {dict(sorted(spurious.items()))}")
+        if not missed and not spurious:
+            print("  exact reconstruction!")
+
+
+def main() -> None:
+    for name in ("crime", "hosts"):
+        run_case_study(name)
+    print(
+        "\nSHyRe-Count's sampling misses hyperedges it never draws and "
+        "emits maximal-clique false positives; MARIOH's filtering plus "
+        "exhaustive iterative search avoids both failure modes on these "
+        "near-simple datasets."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Fig. 2-style case study: exactly restoring an ego sub-hypergraph.
+
+Mirrors the paper's Jure Leskovec example on the DBLP analogue: pick the
+highest-degree author, induce the sub-hypergraph on that author and their
+co-authors, and compare what MARIOH and SHyRe-Count recover from the
+ego's projected neighborhood.
+
+Run:  python examples/coauthorship_case_study.py
+"""
+
+from repro.baselines import ShyreCount
+from repro.core.marioh import MARIOH
+from repro.datasets import load
+from repro.hypergraph.projection import project
+from repro.metrics import jaccard_similarity, multi_jaccard_similarity
+
+
+def main() -> None:
+    bundle = load("dblp", seed=0)
+    target = bundle.target_hypergraph_reduced
+
+    # The ego: the busiest author of the target half.
+    ego = max(target.nodes, key=target.unique_degree)
+    coauthors = set()
+    for edge in target.incident_edges(ego):
+        coauthors.update(edge)
+    print(f"ego node: {ego} with {len(coauthors) - 1} co-authors")
+
+    # The visible input: the projected graph of the ego sub-hypergraph.
+    sub_truth = target.induced_subhypergraph(coauthors)
+    sub_graph = project(sub_truth)
+    print(
+        f"ego sub-hypergraph: {sub_truth.num_unique_edges} hyperedges, "
+        f"{sub_graph.num_edges} projected edges"
+    )
+
+    # Both methods train on the (full) source half, as in the paper.
+    source = bundle.source_hypergraph.reduce_multiplicity()
+
+    for name, method in [
+        ("SHyRe-Count", ShyreCount(seed=0)),
+        ("MARIOH", MARIOH(seed=0)),
+    ]:
+        method.fit(source)
+        reconstruction = method.reconstruct(sub_graph)
+        jaccard = jaccard_similarity(sub_truth, reconstruction)
+        multi = multi_jaccard_similarity(sub_truth, reconstruction)
+        print(f"\n{name}:")
+        print(f"  recovered hyperedges: {reconstruction.num_unique_edges}")
+        print(f"  Jaccard = {jaccard:.3f}   multi-Jaccard = {multi:.3f}")
+        missed = set(sub_truth.edges()) - set(reconstruction.edges())
+        spurious = set(reconstruction.edges()) - set(sub_truth.edges())
+        if missed:
+            print(f"  missed: {[sorted(e) for e in sorted(missed, key=sorted)][:5]}")
+        if spurious:
+            print(
+                f"  spurious: {[sorted(e) for e in sorted(spurious, key=sorted)][:5]}"
+            )
+        if not missed and not spurious:
+            print("  exact restoration of the ego sub-hypergraph!")
+
+
+if __name__ == "__main__":
+    main()

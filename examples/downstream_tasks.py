@@ -1,0 +1,52 @@
+"""Downstream utility of reconstruction (Tables VII and IX scenario).
+
+Shows that MARIOH's reconstructed hypergraph, not just the ground truth,
+improves node clustering and link prediction over the raw projected
+graph on the primary-school contact analogue.
+
+Run:  python examples/downstream_tasks.py
+"""
+
+from repro.core.marioh import MARIOH
+from repro.datasets import load
+from repro.downstream import link_prediction_auc, spectral_clustering_nmi
+
+
+def main() -> None:
+    bundle = load("pschool", seed=0)
+    labels = bundle.labels
+    assert labels is not None
+    graph = bundle.target_graph_reduced
+    truth = bundle.target_hypergraph_reduced
+
+    model = MARIOH(seed=0)
+    reconstruction = model.fit_reconstruct(
+        bundle.source_hypergraph.reduce_multiplicity(), graph
+    )
+
+    print("node clustering (NMI, higher is better)")
+    for name, structure in [
+        ("projected graph G", graph),
+        ("H reconstructed by MARIOH", reconstruction),
+        ("original hypergraph H", truth),
+    ]:
+        nmi = spectral_clustering_nmi(structure, labels, seed=0)
+        print(f"  {name:<28} {nmi:.4f}")
+
+    print("\nlink prediction (AUC, higher is better)")
+    auc_graph = link_prediction_auc(graph, seed=0)
+    auc_recon = link_prediction_auc(graph, reconstruction, seed=0)
+    auc_truth = link_prediction_auc(graph, truth, seed=0)
+    print(f"  {'projected graph G':<28} {auc_graph:.4f}")
+    print(f"  {'H reconstructed by MARIOH':<28} {auc_recon:.4f}")
+    print(f"  {'original hypergraph H':<28} {auc_truth:.4f}")
+
+    print(
+        "\nhigher-order structure recovered by MARIOH carries real signal "
+        "for downstream tasks - the reconstruction tracks the ground-truth "
+        "hypergraph, not the lossy projection."
+    )
+
+
+if __name__ == "__main__":
+    main()

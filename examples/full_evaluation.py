@@ -1,0 +1,23 @@
+"""Run the condensed end-to-end reproduction report.
+
+Wraps :func:`repro.experiments.report.full_report`: dataset statistics,
+both accuracy settings, feature importance, and storage savings in one
+markdown document.  Equivalent to ``python -m repro report``.
+
+Run:  python examples/full_evaluation.py [--full]
+"""
+
+import sys
+
+from repro.experiments.report import full_report
+
+
+def main() -> None:
+    quick = "--full" not in sys.argv
+    if quick:
+        print("(quick subset; pass --full for the standard sweep)\n")
+    print(full_report(seed=0, quick=quick))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Inspecting how a reconstruction was assembled (provenance).
+
+``MARIOH(record_provenance=True)`` traces every hyperedge back to the
+mechanism that produced it: the theoretically-guaranteed filter, Phase 1
+(a most-promising maximal clique), or Phase 2 (a sub-clique rescued from
+a least-promising clique).  Useful for debugging datasets where
+reconstruction underperforms: the stage mix shows *which* mechanism is
+doing the work.
+
+Run:  python examples/provenance_debugging.py
+"""
+
+from collections import Counter
+
+from repro.core.marioh import MARIOH
+from repro.datasets import load
+from repro.metrics import jaccard_similarity
+
+
+def main() -> None:
+    for name in ("crime", "enron"):
+        bundle = load(name, seed=0)
+        truth = bundle.target_hypergraph_reduced
+        model = MARIOH(seed=0, record_provenance=True)
+        reconstruction = model.fit_reconstruct(
+            bundle.source_hypergraph.reduce_multiplicity(),
+            bundle.target_graph_reduced,
+        )
+        score = jaccard_similarity(truth, reconstruction)
+
+        stage_counts = Counter(r.stage for r in model.provenance_)
+        correct_by_stage = Counter(
+            r.stage for r in model.provenance_ if r.edge in truth
+        )
+        print(f"\n=== {name} (Jaccard {score:.3f}) ===")
+        print(f"iterations: {model.n_iterations_}")
+        for stage in ("filtering", "phase1", "phase2"):
+            total = stage_counts.get(stage, 0)
+            correct = correct_by_stage.get(stage, 0)
+            precision = correct / total if total else float("nan")
+            print(
+                f"  {stage:<10} produced {total:>4} hyperedges, "
+                f"{correct:>4} correct "
+                f"(precision {precision:.2f})"
+                if total
+                else f"  {stage:<10} produced    0 hyperedges"
+            )
+
+        late = [r for r in model.provenance_ if r.stage != "filtering"]
+        if late:
+            last = max(late, key=lambda r: r.iteration)
+            print(
+                f"  last conversion: iteration {last.iteration} "
+                f"(theta {last.theta:.2f}, score {last.score:.2f}, "
+                f"size {len(last.edge)})"
+            )
+
+    print(
+        "\nreading the mix: on near-simple data the filter does almost "
+        "everything at zero risk; on dense data Phase 1/2 carry the load "
+        "and late low-theta conversions mark where errors concentrate."
+    )
+
+
+if __name__ == "__main__":
+    main()

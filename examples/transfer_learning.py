@@ -1,0 +1,47 @@
+"""Transfer learning across co-authorship datasets (Table V scenario).
+
+Trains MARIOH once on the DBLP analogue and reuses it - without
+retraining - to reconstruct three MAG-style co-authorship datasets,
+alongside a SHyRe-Count reference.
+
+Run:  python examples/transfer_learning.py
+"""
+
+from repro.baselines import ShyreCount
+from repro.core.marioh import MARIOH
+from repro.datasets import load
+from repro.metrics import jaccard_similarity
+
+TARGETS = ["mag-history", "mag-topcs", "mag-geology"]
+
+
+def main() -> None:
+    source = load("dblp", seed=0)
+    supervision = source.source_hypergraph.reduce_multiplicity()
+
+    marioh = MARIOH(seed=0)
+    marioh.fit(supervision)
+    shyre = ShyreCount(seed=0)
+    shyre.fit(supervision)
+    print("trained MARIOH and SHyRe-Count on the dblp analogue\n")
+
+    header = f"{'target':<14}{'SHyRe-Count':>14}{'MARIOH':>14}"
+    print(header)
+    print("-" * len(header))
+    for name in TARGETS:
+        target = load(name, seed=0)
+        truth = target.target_hypergraph_reduced
+        graph = target.target_graph_reduced
+        shyre_score = jaccard_similarity(truth, shyre.reconstruct(graph))
+        marioh_score = jaccard_similarity(truth, marioh.reconstruct(graph))
+        print(f"{name:<14}{100 * shyre_score:>14.2f}{100 * marioh_score:>14.2f}")
+
+    print(
+        "\nMARIOH generalizes across same-domain datasets without "
+        "retraining - the classifier's multiplicity-aware features are "
+        "domain-level, not dataset-level."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim so ``pip install -e .`` works without the wheel package.
+
+The execution environment has no network access and no ``wheel`` module,
+which breaks PEP 517 editable installs; this file lets pip (and
+``python setup.py develop``) fall back to the legacy setuptools path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""Baseline hypergraph-reconstruction methods (Sect. IV-A).
+
+Three families, as in the paper:
+
+- overlapping community detection: :class:`Demon` [33],
+  :class:`CFinder` [34];
+- clique decomposition: :class:`CliqueCovering` [35],
+  :class:`MaxClique` [36];
+- hypergraph reconstruction: :class:`BayesianMDL` [13],
+  :class:`ShyreCount` / :class:`ShyreMotif` [6] (supervised) and
+  :class:`ShyreUnsup` [6, appendix] (unsupervised, multiplicity-aware).
+
+All methods implement the :class:`Reconstructor` protocol: an optional
+``fit(source_hypergraph)`` and a ``reconstruct(target_graph)`` returning
+a :class:`~repro.hypergraph.Hypergraph`.
+"""
+
+from repro.baselines.base import Reconstructor, UnsupervisedReconstructor
+from repro.baselines.bayesian_mdl import BayesianMDL
+from repro.baselines.cfinder import CFinder
+from repro.baselines.clique_cover import CliqueCovering
+from repro.baselines.demon import Demon
+from repro.baselines.maxclique import MaxClique
+from repro.baselines.shyre import ShyreCount, ShyreMotif
+from repro.baselines.shyre_unsup import ShyreUnsup
+
+__all__ = [
+    "Reconstructor",
+    "UnsupervisedReconstructor",
+    "CFinder",
+    "Demon",
+    "MaxClique",
+    "CliqueCovering",
+    "BayesianMDL",
+    "ShyreCount",
+    "ShyreMotif",
+    "ShyreUnsup",
+]
+
+
+def all_baselines(seed=None):
+    """Instantiate every baseline with its paper-default hyperparameters."""
+    return {
+        "CFinder": CFinder(),
+        "Demon": Demon(seed=seed),
+        "MaxClique": MaxClique(),
+        "CliqueCovering": CliqueCovering(),
+        "Bayesian-MDL": BayesianMDL(seed=seed),
+        "SHyRe-Count": ShyreCount(seed=seed),
+        "SHyRe-Motif": ShyreMotif(seed=seed),
+        "SHyRe-Unsup": ShyreUnsup(),
+    }

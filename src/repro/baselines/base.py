@@ -1,0 +1,45 @@
+"""Common interface for reconstruction methods.
+
+Supervised methods learn from a source hypergraph before reconstructing;
+unsupervised methods work straight from the target projected graph.  Both
+expose the same two-call surface so the experiment harness can treat all
+twelve methods uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.hypergraph.graph import WeightedGraph
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+class Reconstructor(abc.ABC):
+    """A hypergraph-reconstruction method.
+
+    ``fit`` is a no-op for unsupervised methods; supervised methods must
+    be fitted before ``reconstruct``.
+    """
+
+    name: str = "reconstructor"
+
+    def fit(self, source_hypergraph: Hypergraph) -> "Reconstructor":
+        """Learn from the source hypergraph (default: nothing to learn)."""
+        return self
+
+    @abc.abstractmethod
+    def reconstruct(self, target_graph: WeightedGraph) -> Hypergraph:
+        """Reconstruct a hypergraph from the target projected graph."""
+
+    def fit_reconstruct(
+        self, source_hypergraph: Hypergraph, target_graph: WeightedGraph
+    ) -> Hypergraph:
+        self.fit(source_hypergraph)
+        return self.reconstruct(target_graph)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class UnsupervisedReconstructor(Reconstructor):
+    """Marker base class for methods that ignore the source hypergraph."""

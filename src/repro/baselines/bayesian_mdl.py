@@ -1,0 +1,203 @@
+"""Bayesian-MDL baseline (Young, Petri & Peixoto [13]).
+
+Reconstructs a hypergraph as the most parsimonious clique cover of the
+projected graph: a prior over hypergraphs that penalizes many/large
+hyperedges, a likelihood that is an indicator of the cover matching the
+observed pairwise edges, and Markov-chain Monte Carlo over covers.  Our
+implementation keeps the cover-validity constraint hard (every proposed
+state's cliques jointly cover exactly E_G) and anneals a minimum
+description length
+
+    L(H) = |E_H| * log2 |V|  +  sum_e |e| * log2 |V|
+
+(one codeword per hyperedge plus one per member node), which is the MDL
+counterpart of the authors' parsimony prior.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.baselines.base import UnsupervisedReconstructor
+from repro.baselines.clique_cover import CliqueCovering
+from repro.hypergraph.cliques import is_clique
+from repro.hypergraph.graph import Node, WeightedGraph
+from repro.hypergraph.hypergraph import Hypergraph
+
+Pair = Tuple[Node, Node]
+
+
+def _pairs(clique: frozenset) -> List[Pair]:
+    return list(combinations(sorted(clique), 2))
+
+
+def description_length(cliques: List[frozenset], n_nodes: int) -> float:
+    """MDL cost of a cover: per-hyperedge header + per-member codewords."""
+    if n_nodes < 2:
+        return 0.0
+    bits_per_symbol = np.log2(n_nodes)
+    n_members = sum(len(clique) for clique in cliques)
+    return (len(cliques) + n_members) * bits_per_symbol
+
+
+class BayesianMDL(UnsupervisedReconstructor):
+    """MCMC search for the minimum-description-length clique cover.
+
+    Parameters
+    ----------
+    n_iterations:
+        Metropolis steps after the greedy initialization.
+    temperature:
+        Initial annealing temperature (decays geometrically to ~0.01).
+    seed:
+        RNG seed for proposals.
+    """
+
+    name = "Bayesian-MDL"
+
+    def __init__(
+        self,
+        n_iterations: int = 2000,
+        temperature: float = 1.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        if n_iterations < 0:
+            raise ValueError(f"n_iterations must be >= 0, got {n_iterations}")
+        self.n_iterations = n_iterations
+        self.temperature = temperature
+        self.seed = seed
+
+    def reconstruct(self, target_graph: WeightedGraph) -> Hypergraph:
+        rng = np.random.default_rng(self.seed)
+        n_nodes = target_graph.num_nodes
+
+        # Greedy initialization: an edge clique cover.
+        initial = CliqueCovering().reconstruct(target_graph)
+        cover: List[frozenset] = [frozenset(edge) for edge in initial.edges()]
+
+        # Pair -> number of cover cliques containing it.
+        coverage: Dict[Pair, int] = {}
+        for clique in cover:
+            for pair in _pairs(clique):
+                coverage[pair] = coverage.get(pair, 0) + 1
+
+        cost = description_length(cover, n_nodes)
+        best_cover = list(cover)
+        best_cost = cost
+        temperature = self.temperature
+        decay = 0.01 ** (1.0 / max(1, self.n_iterations))
+
+        for _ in range(self.n_iterations):
+            if not cover:
+                break
+            move = rng.integers(3)
+            proposal: Optional[Tuple[List[frozenset], float]] = None
+            if move == 0:
+                proposal = self._propose_drop(cover, coverage, n_nodes, rng)
+            elif move == 1:
+                proposal = self._propose_split(cover, coverage, n_nodes, rng)
+            else:
+                proposal = self._propose_merge(
+                    cover, coverage, n_nodes, target_graph, rng
+                )
+            if proposal is None:
+                temperature *= decay
+                continue
+            new_cover, new_cost = proposal
+            accept = new_cost <= cost or rng.random() < np.exp(
+                (cost - new_cost) / max(temperature, 1e-9)
+            )
+            if accept:
+                cover = new_cover
+                cost = new_cost
+                coverage = {}
+                for clique in cover:
+                    for pair in _pairs(clique):
+                        coverage[pair] = coverage.get(pair, 0) + 1
+                if cost < best_cost:
+                    best_cover, best_cost = list(cover), cost
+            temperature *= decay
+
+        reconstruction = Hypergraph(nodes=target_graph.nodes)
+        emitted: Set[frozenset] = set()
+        for clique in best_cover:
+            if clique not in emitted:
+                emitted.add(clique)
+                reconstruction.add(clique)
+        return reconstruction
+
+    # ------------------------------------------------------------------
+    # Proposal moves (all preserve exact edge coverage)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _propose_drop(cover, coverage, n_nodes, rng):
+        """Remove a clique whose pairs are all covered elsewhere."""
+        redundant = [
+            i
+            for i, clique in enumerate(cover)
+            if all(coverage[pair] >= 2 for pair in _pairs(clique))
+        ]
+        if not redundant:
+            return None
+        index = int(rng.choice(redundant))
+        new_cover = cover[:index] + cover[index + 1 :]
+        return new_cover, description_length(new_cover, n_nodes)
+
+    @staticmethod
+    def _propose_split(cover, coverage, n_nodes, rng):
+        """Split a clique of size >= 3 into two overlapping halves."""
+        candidates = [i for i, clique in enumerate(cover) if len(clique) >= 3]
+        if not candidates:
+            return None
+        index = int(rng.choice(candidates))
+        members = sorted(cover[index])
+        pivot = int(rng.integers(1, len(members) - 1))
+        # Overlapping halves so no internal pair loses coverage entirely:
+        # the pair (last-of-left, first-of-right) stays via the shared node.
+        shuffled = list(members)
+        rng.shuffle(shuffled)
+        left = frozenset(shuffled[: pivot + 1])
+        right = frozenset(shuffled[pivot:])
+        # Splitting loses the pairs between left-only and right-only nodes;
+        # only valid when those pairs remain covered by other cliques.
+        lost = [
+            pair
+            for pair in _pairs(frozenset(members))
+            if not (set(pair) <= set(left)) and not (set(pair) <= set(right))
+        ]
+        if any(coverage[pair] < 2 for pair in lost):
+            return None
+        new_cover = cover[:index] + cover[index + 1 :]
+        if len(left) >= 2:
+            new_cover.append(left)
+        if len(right) >= 2:
+            new_cover.append(right)
+        return new_cover, description_length(new_cover, n_nodes)
+
+    @staticmethod
+    def _propose_merge(cover, coverage, n_nodes, graph, rng):
+        """Merge two overlapping cliques when their union is a clique."""
+        if len(cover) < 2:
+            return None
+        first = int(rng.integers(len(cover)))
+        overlapping = [
+            j
+            for j, clique in enumerate(cover)
+            if j != first and clique & cover[first]
+        ]
+        if not overlapping:
+            return None
+        second = int(rng.choice(overlapping))
+        union = cover[first] | cover[second]
+        if not is_clique(graph, union):
+            return None
+        keep = [
+            clique
+            for index, clique in enumerate(cover)
+            if index not in (first, second)
+        ]
+        keep.append(frozenset(union))
+        return keep, description_length(keep, n_nodes)

@@ -1,0 +1,25 @@
+"""MaxClique baseline [36]: every maximal clique becomes a hyperedge.
+
+The simplest clique-decomposition baseline: run Bron-Kerbosch on the
+target projected graph and emit each maximal clique once.  Isolated
+edges appear as size-2 hyperedges because they are maximal cliques.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import UnsupervisedReconstructor
+from repro.hypergraph.cliques import maximal_cliques
+from repro.hypergraph.graph import WeightedGraph
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+class MaxClique(UnsupervisedReconstructor):
+    """Emit every maximal clique of the projected graph as a hyperedge."""
+
+    name = "MaxClique"
+
+    def reconstruct(self, target_graph: WeightedGraph) -> Hypergraph:
+        reconstruction = Hypergraph(nodes=target_graph.nodes)
+        for clique in maximal_cliques(target_graph):
+            reconstruction.add(clique)
+        return reconstruction

@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    List registered datasets with their Table I-style statistics.
+``reconstruct``
+    Run a method on a dataset (or a hypergraph file) and report accuracy.
+``evaluate``
+    Sweep several methods over one dataset and print a mini Table II.
+``storage``
+    Report storage savings of hypergraph vs projected-graph form.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.datasets.registry import available, load
+from repro.datasets.stats import table_one_stats
+from repro.experiments.harness import make_method, method_registry, run_method
+from repro.experiments.tables import format_table
+from repro.hypergraph.io import read_hypergraph, write_hypergraph
+from repro.hypergraph.projection import project
+from repro.hypergraph.split import split_source_target
+from repro.metrics.jaccard import jaccard_similarity, multi_jaccard_similarity
+from repro.metrics.storage import storage_report
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    print("registered datasets (Table I-style statistics, generated):")
+    for name in available():
+        bundle = load(name, seed=args.seed)
+        stats = table_one_stats(bundle.hypergraph)
+        print("  " + stats.as_row(name))
+    return 0
+
+
+def _cmd_reconstruct(args: argparse.Namespace) -> int:
+    if args.input:
+        hypergraph = read_hypergraph(args.input)
+        source, target = split_source_target(hypergraph, seed=args.seed)
+        target_graph = project(target)
+        name = args.input
+    else:
+        bundle = load(args.dataset, seed=args.seed)
+        source = bundle.source_hypergraph
+        target = bundle.target_hypergraph
+        target_graph = bundle.target_graph
+        name = bundle.name
+
+    method = make_method(args.method, seed=args.seed)
+    method.fit(source)
+    reconstruction = method.reconstruct(target_graph)
+    print(f"{args.method} on {name}:")
+    print(f"  reconstructed hyperedges: {reconstruction.num_unique_edges}")
+    print(f"  Jaccard:       {jaccard_similarity(target, reconstruction):.4f}")
+    print(
+        f"  multi-Jaccard: "
+        f"{multi_jaccard_similarity(target, reconstruction):.4f}"
+    )
+    if args.output:
+        write_hypergraph(reconstruction, args.output)
+        print(f"  wrote reconstruction to {args.output}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.experiments.harness import accuracy_table
+
+    bundle = load(args.dataset, seed=args.seed)
+    methods = args.methods or ["SHyRe-Count", "SHyRe-Unsup", "MARIOH"]
+    table = accuracy_table(
+        methods,
+        [bundle],
+        preserve_multiplicity=args.preserve_multiplicity,
+        seeds=[args.seed],
+    )
+    metric = "multi-Jaccard" if args.preserve_multiplicity else "Jaccard"
+    print(
+        format_table(
+            table, [bundle.name], title=f"{metric} x100 on {bundle.name}"
+        )
+    )
+    return 0
+
+
+def _cmd_storage(args: argparse.Namespace) -> int:
+    if args.input:
+        hypergraph = read_hypergraph(args.input)
+        name = args.input
+    else:
+        hypergraph = load(args.dataset, seed=args.seed).hypergraph
+        name = args.dataset
+    report = storage_report(hypergraph)
+    print(f"storage comparison for {name}:")
+    print(f"  hypergraph records: {report.hypergraph_cost}")
+    print(f"  projected-graph records: {report.graph_cost}")
+    print(f"  savings ratio: {report.savings_ratio:.1%}")
+    print(f"  compression factor: {report.compression_factor:.2f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MARIOH hypergraph reconstruction (ICDE 2025 reproduction)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="global RNG seed")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("datasets", help="list datasets with statistics")
+
+    reconstruct = commands.add_parser(
+        "reconstruct", help="reconstruct one dataset with one method"
+    )
+    reconstruct.add_argument(
+        "--dataset", default="crime", choices=list(available())
+    )
+    reconstruct.add_argument(
+        "--method", default="MARIOH", choices=list(method_registry())
+    )
+    reconstruct.add_argument(
+        "--input", help="hypergraph file to split/reconstruct instead"
+    )
+    reconstruct.add_argument(
+        "--output", help="write the reconstruction to this file"
+    )
+
+    evaluate = commands.add_parser(
+        "evaluate", help="compare methods on one dataset"
+    )
+    evaluate.add_argument(
+        "--dataset", default="crime", choices=list(available())
+    )
+    evaluate.add_argument(
+        "--methods", nargs="*", choices=list(method_registry())
+    )
+    evaluate.add_argument(
+        "--preserve-multiplicity", action="store_true",
+        help="Table III setting (multi-Jaccard) instead of Table II",
+    )
+
+    storage = commands.add_parser(
+        "storage", help="hypergraph vs graph storage comparison"
+    )
+    storage.add_argument(
+        "--dataset", default="pschool", choices=list(available())
+    )
+    storage.add_argument("--input", help="hypergraph file instead of a dataset")
+
+    report = commands.add_parser(
+        "report", help="run the condensed reproduction report"
+    )
+    report.add_argument(
+        "--full", action="store_true",
+        help="standard dataset/method set instead of the quick subset",
+    )
+    report.add_argument("--output", help="write the markdown report here")
+    return parser
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import full_report
+
+    text = full_report(seed=args.seed, quick=not args.full)
+    print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"\nwrote report to {args.output}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "datasets": _cmd_datasets,
+        "reconstruct": _cmd_reconstruct,
+        "evaluate": _cmd_evaluate,
+        "storage": _cmd_storage,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

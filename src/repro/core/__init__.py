@@ -1,0 +1,36 @@
+"""MARIOH: the paper's primary contribution.
+
+``repro.core`` implements Sect. III of the paper end to end:
+
+- :mod:`repro.core.filtering` - Eq. (1)'s MHH bound and the
+  theoretically-guaranteed size-2 hyperedge filtering (Algorithm 2).
+- :mod:`repro.core.features` - the multiplicity-aware clique featurizer
+  (Sect. III-D) and the SHyRe-style structural featurizer used by the
+  MARIOH-M ablation.
+- :mod:`repro.core.classifier` - the MLP clique classifier with its
+  negative-sampling training-set construction.
+- :mod:`repro.core.search` - the bidirectional search with adaptive
+  threshold (Algorithm 3).
+- :mod:`repro.core.marioh` - the user-facing :class:`MARIOH` estimator
+  (Algorithm 1) including the -M / -F / -B ablation variants.
+"""
+
+from repro.core.classifier import CliqueClassifier
+from repro.core.features import CliqueFeaturizer, StructuralFeaturizer
+from repro.core.filtering import filter_guaranteed_pairs, mhh, residual_multiplicity
+from repro.core.marioh import MARIOH, ProvenanceRecord
+from repro.core.pool import CliqueCandidatePool
+from repro.core.search import bidirectional_search
+
+__all__ = [
+    "MARIOH",
+    "ProvenanceRecord",
+    "CliqueClassifier",
+    "CliqueFeaturizer",
+    "StructuralFeaturizer",
+    "CliqueCandidatePool",
+    "mhh",
+    "residual_multiplicity",
+    "filter_guaranteed_pairs",
+    "bidirectional_search",
+]

@@ -1,0 +1,148 @@
+"""Exact candidate-space enumeration (the paper's Fig. 1 argument).
+
+Fig. 1 argues that knowing edge multiplicities collapses the space of
+hypergraphs consistent with a projected graph, while unknown
+multiplicities blow it up (to infinity once repeats are allowed).  For
+*small* graphs we can make that argument exact: enumerate every
+multiset of hyperedges whose clique expansion reproduces the graph.
+
+A consistent hypergraph assigns a non-negative integer multiplicity
+``x_C`` to every clique ``C`` (|C| >= 2) such that for each edge
+``{u, v}``::
+
+    sum_{C : {u,v} ⊆ C} x_C  =  w_uv
+
+Counting solutions is exponential in general - these helpers are for
+didactic graphs of a handful of nodes, as in the paper's figure.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.hypergraph.cliques import is_clique
+from repro.hypergraph.graph import WeightedGraph
+from repro.hypergraph.hypergraph import Hypergraph
+
+Pair = Tuple[int, int]
+
+
+def _all_cliques(graph: WeightedGraph) -> List[FrozenSet[int]]:
+    """Every clique of size >= 2, smallest first (prunes faster)."""
+    nodes = sorted(
+        node for node in graph.nodes if graph.degree(node) > 0
+    )
+    cliques = []
+    for size in range(2, len(nodes) + 1):
+        for combo in combinations(nodes, size):
+            if is_clique(graph, combo):
+                cliques.append(frozenset(combo))
+    return cliques
+
+
+def _pairs(clique: FrozenSet[int]) -> List[Pair]:
+    members = sorted(clique)
+    return [(u, v) for i, u in enumerate(members) for v in members[i + 1 :]]
+
+
+def enumerate_consistent_hypergraphs(
+    graph: WeightedGraph,
+    max_results: Optional[int] = None,
+) -> List[Hypergraph]:
+    """All hypergraphs whose projection equals ``graph`` exactly.
+
+    ``max_results`` stops early (useful to demonstrate explosion).
+    Raises ``ValueError`` for graphs with more than 12 nodes - beyond
+    that the enumeration is hopeless by design.
+    """
+    active = [n for n in graph.nodes if graph.degree(n) > 0]
+    if len(active) > 12:
+        raise ValueError(
+            f"exact enumeration is for didactic graphs (<= 12 active "
+            f"nodes), got {len(active)}"
+        )
+    cliques = _all_cliques(graph)
+    remaining: Dict[Pair, int] = {
+        (u, v): w for u, v, w in graph.edges_with_weights()
+    }
+    results: List[Hypergraph] = []
+    assignment: List[Tuple[FrozenSet[int], int]] = []
+
+    def backtrack(index: int) -> bool:
+        """Returns False when max_results was hit (stop everything)."""
+        if max_results is not None and len(results) >= max_results:
+            return False
+        if all(value == 0 for value in remaining.values()):
+            hypergraph = Hypergraph(nodes=graph.nodes)
+            for clique, multiplicity in assignment:
+                if multiplicity > 0:
+                    hypergraph.add(clique, multiplicity)
+            results.append(hypergraph)
+            # A complete assignment of all cliques also ends recursion
+            # for this branch; continuing would double-count.
+            return True
+        if index >= len(cliques):
+            return True
+        clique = cliques[index]
+        pairs = _pairs(clique)
+        cap = min(remaining[pair] for pair in pairs)
+        # Try multiplicities high-to-low so "one big hyperedge" solutions
+        # surface first (matches the figure's narrative ordering).
+        for multiplicity in range(cap, -1, -1):
+            for pair in pairs:
+                remaining[pair] -= multiplicity
+            assignment.append((clique, multiplicity))
+            keep_going = backtrack(index + 1)
+            assignment.pop()
+            for pair in pairs:
+                remaining[pair] += multiplicity
+            if not keep_going:
+                return False
+        return True
+
+    backtrack(0)
+    return results
+
+
+def count_consistent_hypergraphs(
+    graph: WeightedGraph, limit: int = 100_000
+) -> int:
+    """Number of consistent hypergraphs (capped at ``limit``)."""
+    return len(enumerate_consistent_hypergraphs(graph, max_results=limit))
+
+
+def count_without_multiplicity(
+    graph: WeightedGraph, max_total_weight: int, limit: int = 100_000
+) -> int:
+    """Candidate count when edge multiplicities are *unknown*.
+
+    Fig. 1's bottom row: an unweighted observation only says each edge
+    appeared at least once, so any weight assignment ``w_uv >= 1`` up to
+    a total budget is possible.  We count consistent hypergraphs summed
+    over all weight assignments with ``sum w_uv <= max_total_weight`` -
+    a lower bound on the true (infinite) candidate space that grows
+    without bound as the budget grows.
+    """
+    edges = list(graph.edges())
+    if not edges:
+        return 1
+    total = 0
+
+    def assign(index: int, budget: int, working: WeightedGraph) -> None:
+        nonlocal total
+        if total >= limit:
+            return
+        if index == len(edges):
+            total += count_consistent_hypergraphs(working, limit - total)
+            return
+        u, v = edges[index]
+        min_needed = len(edges) - index  # each remaining edge needs >= 1
+        for weight in range(1, budget - min_needed + 2):
+            working.set_weight(u, v, weight)
+            assign(index + 1, budget - weight, working)
+        working.set_weight(u, v, 1)
+
+    template = graph.copy()
+    assign(0, max_total_weight, template)
+    return min(total, limit)

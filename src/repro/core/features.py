@@ -1,0 +1,190 @@
+"""Clique feature representations (Sect. III-D).
+
+:class:`CliqueFeaturizer` implements MARIOH's multiplicity-aware features:
+
+- node level: weighted degree of each clique member;
+- edge level: multiplicity ``w_uv``, its MHH bound, and the maximum
+  portion of higher-order hyperedges ``MHH / w_uv``;
+- clique level: clique size, clique cut ratio (internal multiplicity over
+  total multiplicity touching the clique), and a maximality indicator.
+
+Node- and edge-level feature sets are summarized into 5-dim vectors
+(sum, mean, min, max, std) and concatenated with the clique-level
+features, giving 5 + 3*5 + 3 = 23 dimensions.
+
+:class:`StructuralFeaturizer` is the multiplicity-oblivious featurizer
+(SHyRe-Count style) that the MARIOH-M ablation and the SHyRe baselines
+use: connectivity-only statistics of the clique and its boundary.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.core.filtering import mhh
+from repro.hypergraph.cliques import Clique, is_maximal_clique
+from repro.hypergraph.graph import WeightedGraph
+
+
+def _five_stats(values: Sequence[float]) -> List[float]:
+    """(sum, mean, min, max, std) summary of a non-empty value list."""
+    array = np.asarray(values, dtype=np.float64)
+    return [
+        float(array.sum()),
+        float(array.mean()),
+        float(array.min()),
+        float(array.max()),
+        float(array.std()),
+    ]
+
+
+class CliqueFeaturizer:
+    """Multiplicity-aware clique features (the paper's Sect. III-D)."""
+
+    #: node stats (5) + 3 edge feature groups (15) + clique level (3)
+    n_features = 23
+
+    def featurize(
+        self,
+        clique: Iterable[int],
+        graph: WeightedGraph,
+        reference_graph: WeightedGraph = None,
+        _mhh_cache: dict = None,
+    ) -> np.ndarray:
+        """Feature vector for ``clique`` measured on ``graph``.
+
+        ``reference_graph`` is the graph against which the maximality
+        indicator is evaluated (the paper uses the original projected
+        graph ``G``); it defaults to ``graph``.  ``_mhh_cache`` is an
+        optional per-batch memo of edge MHH values - overlapping cliques
+        share edges, and MHH is the hot path (see ``featurize_many``).
+        """
+        members = sorted(set(clique))
+        if len(members) < 2:
+            raise ValueError(f"cliques need >= 2 nodes, got {members}")
+        reference = reference_graph if reference_graph is not None else graph
+
+        node_degrees = [float(graph.weighted_degree(u)) for u in members]
+
+        multiplicities: List[float] = []
+        mhh_values: List[float] = []
+        mhh_portions: List[float] = []
+        internal_weight = 0.0
+        for u, v in combinations(members, 2):
+            weight = float(graph.weight(u, v))
+            if _mhh_cache is None:
+                bound = float(mhh(graph, u, v))
+            else:
+                key = (u, v)
+                bound = _mhh_cache.get(key)
+                if bound is None:
+                    bound = float(mhh(graph, u, v))
+                    _mhh_cache[key] = bound
+            multiplicities.append(weight)
+            mhh_values.append(bound)
+            mhh_portions.append(bound / weight if weight > 0 else 0.0)
+            internal_weight += weight
+
+        total_weight = sum(node_degrees)  # counts internal edges twice
+        boundary_weight = total_weight - 2.0 * internal_weight
+        denominator = internal_weight + boundary_weight
+        cut_ratio = internal_weight / denominator if denominator > 0 else 0.0
+
+        maximal = 1.0 if is_maximal_clique(reference, members) else 0.0
+
+        features = (
+            _five_stats(node_degrees)
+            + _five_stats(multiplicities)
+            + _five_stats(mhh_values)
+            + _five_stats(mhh_portions)
+            + [float(len(members)), cut_ratio, maximal]
+        )
+        return np.asarray(features, dtype=np.float64)
+
+    def featurize_many(
+        self,
+        cliques: Sequence[Clique],
+        graph: WeightedGraph,
+        reference_graph: WeightedGraph = None,
+    ) -> np.ndarray:
+        """Stack features for several cliques, shape (n, 23).
+
+        Edge MHH values are memoized across the batch: candidate cliques
+        overlap heavily (maximal cliques plus their sub-cliques), so each
+        edge's Eq. (1) sum is computed once instead of once per clique.
+        """
+        if not cliques:
+            return np.zeros((0, self.n_features))
+        mhh_cache: dict = {}
+        return np.vstack(
+            [
+                self.featurize(clique, graph, reference_graph, _mhh_cache=mhh_cache)
+                for clique in cliques
+            ]
+        )
+
+
+class StructuralFeaturizer:
+    """Connectivity-only clique features (no multiplicity information).
+
+    Used by MARIOH-M and the SHyRe baselines.  All quantities ignore edge
+    weights: unweighted degrees, neighborhood-overlap (Jaccard) per edge,
+    boundary size, clique size, and a maximality indicator.
+    """
+
+    #: degree stats (5) + overlap stats (5) + size, boundary ratio, maximal
+    n_features = 13
+
+    def featurize(
+        self,
+        clique: Iterable[int],
+        graph: WeightedGraph,
+        reference_graph: WeightedGraph = None,
+    ) -> np.ndarray:
+        members = sorted(set(clique))
+        if len(members) < 2:
+            raise ValueError(f"cliques need >= 2 nodes, got {members}")
+        reference = reference_graph if reference_graph is not None else graph
+
+        degrees = [float(graph.degree(u)) for u in members]
+
+        overlaps: List[float] = []
+        for u, v in combinations(members, 2):
+            neighbors_u = set(graph.neighbors(u))
+            neighbors_v = set(graph.neighbors(v))
+            union = neighbors_u | neighbors_v
+            overlap = (
+                len(neighbors_u & neighbors_v) / len(union) if union else 0.0
+            )
+            overlaps.append(overlap)
+
+        member_set = set(members)
+        boundary = set()
+        for u in members:
+            boundary.update(z for z in graph.neighbors(u) if z not in member_set)
+        size = float(len(members))
+        boundary_ratio = size / (size + len(boundary))
+
+        maximal = 1.0 if is_maximal_clique(reference, members) else 0.0
+
+        features = (
+            _five_stats(degrees)
+            + _five_stats(overlaps)
+            + [size, boundary_ratio, maximal]
+        )
+        return np.asarray(features, dtype=np.float64)
+
+    def featurize_many(
+        self,
+        cliques: Sequence[Clique],
+        graph: WeightedGraph,
+        reference_graph: WeightedGraph = None,
+    ) -> np.ndarray:
+        if not cliques:
+            return np.zeros((0, self.n_features))
+        return np.vstack(
+            [self.featurize(clique, graph, reference_graph) for clique in cliques]
+        )

@@ -1,0 +1,329 @@
+"""The MARIOH estimator (Algorithm 1) and its ablation variants.
+
+Usage::
+
+    model = MARIOH(seed=0).fit(source_hypergraph)
+    reconstruction = model.reconstruct(target_projected_graph)
+
+``fit`` projects the source hypergraph, assembles the supervised clique
+training set and trains the classifier; ``reconstruct`` runs the
+theoretically-guaranteed filtering followed by the bidirectional search
+loop with adaptive threshold decay until the target graph has no edges
+left.
+
+Variants (Sect. IV-E ablations):
+
+- ``variant="full"`` - MARIOH as published;
+- ``variant="no_multiplicity"`` - MARIOH-M: multiplicity-aware features
+  replaced by the structural featurizer;
+- ``variant="no_filtering"`` - MARIOH-F: Algorithm 2 skipped;
+- ``variant="no_bidirectional"`` - MARIOH-B: Phase 2 of Algorithm 3
+  skipped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.classifier import CliqueClassifier
+from repro.core.features import CliqueFeaturizer, StructuralFeaturizer
+from repro.core.filtering import filter_guaranteed_pairs
+from repro.core.pool import CliqueCandidatePool
+from repro.core.search import bidirectional_search, decay_threshold
+from repro.hypergraph.graph import WeightedGraph
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.projection import project
+from repro.hypergraph.split import subsample_supervision
+
+VARIANTS = ("full", "no_multiplicity", "no_filtering", "no_bidirectional")
+
+
+@dataclasses.dataclass(frozen=True)
+class ProvenanceRecord:
+    """How one hyperedge instance entered the reconstruction.
+
+    ``stage`` is ``"filtering"`` (Algorithm 2, with ``score`` None and
+    ``iteration`` 0), ``"phase1"`` (a most-promising maximal clique), or
+    ``"phase2"`` (a sub-clique sampled from a least-promising clique).
+    ``theta`` is the classification threshold in force at conversion.
+    """
+
+    edge: frozenset
+    stage: str
+    iteration: int
+    score: Optional[float]
+    theta: Optional[float]
+    multiplicity: int = 1
+
+
+class MARIOH:
+    """Supervised multiplicity-aware hypergraph reconstruction.
+
+    Parameters
+    ----------
+    theta_init:
+        Initial classification threshold θ_init (paper sweeps 0.5-1.0).
+    r:
+        Negative prediction processing ratio in percent (paper sweeps
+        20-100).
+    alpha:
+        Threshold adjust ratio α (paper default 1/20).
+    variant:
+        One of ``"full"``, ``"no_multiplicity"``, ``"no_filtering"``,
+        ``"no_bidirectional"`` - see the module docstring.
+    hidden_sizes, negative_ratio, max_epochs:
+        Classifier knobs, forwarded to :class:`CliqueClassifier`.
+    max_iterations:
+        Optional hard cap on search iterations (safety valve for
+        experiments; ``None`` runs until the graph empties, which is
+        guaranteed to terminate because every iteration with θ = 0
+        converts at least one clique).
+    engine:
+        ``"rescan"`` re-enumerates maximal cliques every iteration (the
+        paper's pseudocode, the reference implementation);
+        ``"incremental"`` maintains them with
+        :class:`~repro.core.pool.CliqueCandidatePool`, which is faster
+        on large sparse graphs and produces identical results.
+    seed:
+        Seeds classifier initialization and sub-clique sampling.
+    """
+
+    def __init__(
+        self,
+        theta_init: float = 0.9,
+        r: float = 20.0,
+        alpha: float = 1.0 / 20.0,
+        variant: str = "full",
+        hidden_sizes: Sequence[int] = (64, 32),
+        negative_ratio: float = 2.0,
+        max_epochs: int = 150,
+        max_iterations: Optional[int] = None,
+        engine: str = "rescan",
+        record_provenance: bool = False,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not 0.0 < theta_init <= 1.0:
+            raise ValueError(f"theta_init must be in (0, 1], got {theta_init}")
+        if not 0.0 <= r <= 100.0:
+            raise ValueError(f"r must be in [0, 100], got {r}")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if variant not in VARIANTS:
+            raise ValueError(f"variant must be one of {VARIANTS}, got {variant!r}")
+        if engine not in ("rescan", "incremental"):
+            raise ValueError(
+                f"engine must be 'rescan' or 'incremental', got {engine!r}"
+            )
+        self.theta_init = theta_init
+        self.r = r
+        self.alpha = alpha
+        self.variant = variant
+        self.max_iterations = max_iterations
+        self.engine = engine
+        self.record_provenance = record_provenance
+        self.seed = seed
+
+        featurizer = (
+            StructuralFeaturizer()
+            if variant == "no_multiplicity"
+            else CliqueFeaturizer()
+        )
+        self.classifier = CliqueClassifier(
+            featurizer=featurizer,
+            hidden_sizes=hidden_sizes,
+            negative_ratio=negative_ratio,
+            max_epochs=max_epochs,
+            seed=seed,
+        )
+        #: wall-clock seconds per stage, filled by fit/reconstruct
+        #: (keys: train, filtering, bidirectional) - used by the Fig. 6
+        #: runtime-breakdown benchmark.
+        self.stage_times_: Dict[str, float] = {}
+        self.n_iterations_: int = 0
+        #: per-conversion provenance, filled by reconstruct() when
+        #: ``record_provenance`` is set.
+        self.provenance_: List[ProvenanceRecord] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        return self.classifier.is_fitted
+
+    def fit(
+        self,
+        source_hypergraph: Hypergraph,
+        supervision_fraction: float = 1.0,
+    ) -> "MARIOH":
+        """Train the clique classifier on the source hypergraph.
+
+        ``supervision_fraction`` subsamples the source hyperedges before
+        training (the Table VI semi-supervised setting); the projection
+        used for features is taken over the *subsampled* hypergraph, so
+        reduced supervision weakens both labels and features, as it would
+        with a genuinely smaller source dataset.
+        """
+        supervision = subsample_supervision(
+            source_hypergraph, supervision_fraction, seed=self.seed
+        )
+        source_graph = project(supervision)
+        self.classifier.fit(source_graph, supervision)
+        # Fig. 6 segments: "load_sample" = training-set assembly
+        # (negative sampling + featurization), "train" = MLP fitting.
+        self.stage_times_["load_sample"] = self.classifier.sample_seconds_
+        self.stage_times_["train"] = self.classifier.train_seconds_
+        return self
+
+    def reconstruct(self, target_graph: WeightedGraph) -> Hypergraph:
+        """Reconstruct a hypergraph from the target projected graph.
+
+        The input graph is not modified.  Follows Algorithm 1: filtering
+        (unless the -F variant), then bidirectional-search iterations with
+        θ decaying by ``alpha * theta_init`` per iteration until no edges
+        remain.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("call fit() before reconstruct()")
+
+        reconstruction = Hypergraph(nodes=target_graph.nodes)
+        reference_graph = target_graph
+        rng = np.random.default_rng(self.seed)
+
+        started = time.perf_counter()
+        if self.variant == "no_filtering":
+            working = target_graph.copy()
+        else:
+            working, reconstruction = filter_guaranteed_pairs(
+                target_graph, reconstruction
+            )
+        self.stage_times_["filtering"] = time.perf_counter() - started
+
+        self.provenance_ = []
+        if self.record_provenance:
+            for edge, multiplicity in reconstruction.items():
+                self.provenance_.append(
+                    ProvenanceRecord(
+                        edge=edge,
+                        stage="filtering",
+                        iteration=0,
+                        score=None,
+                        theta=None,
+                        multiplicity=multiplicity,
+                    )
+                )
+
+        pool = (
+            CliqueCandidatePool(working) if self.engine == "incremental" else None
+        )
+        theta = self.theta_init
+        iterations = 0
+        started = time.perf_counter()
+        while not working.is_empty():
+            if (
+                self.max_iterations is not None
+                and iterations >= self.max_iterations
+            ):
+                break
+            recorder: Optional[List[Tuple[frozenset, str, float]]] = (
+                [] if self.record_provenance else None
+            )
+            working, reconstruction, _ = bidirectional_search(
+                working,
+                self.classifier,
+                theta,
+                self.r,
+                reconstruction,
+                rng=rng,
+                reference_graph=reference_graph,
+                skip_negative_phase=(self.variant == "no_bidirectional"),
+                pool=pool,
+                recorder=recorder,
+            )
+            if recorder is not None:
+                for clique, stage, score in recorder:
+                    self.provenance_.append(
+                        ProvenanceRecord(
+                            edge=clique,
+                            stage=stage,
+                            iteration=iterations + 1,
+                            score=score,
+                            theta=theta,
+                        )
+                    )
+            theta = decay_threshold(theta, self.theta_init, self.alpha)
+            iterations += 1
+        self.stage_times_["bidirectional"] = time.perf_counter() - started
+        self.n_iterations_ = iterations
+        return reconstruction
+
+    def fit_reconstruct(
+        self,
+        source_hypergraph: Hypergraph,
+        target_graph: WeightedGraph,
+        supervision_fraction: float = 1.0,
+    ) -> Hypergraph:
+        """Convenience wrapper: ``fit`` on the source, then ``reconstruct``."""
+        self.fit(source_hypergraph, supervision_fraction)
+        return self.reconstruct(target_graph)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Write the fitted model (config + classifier weights) as JSON.
+
+        Supports the transfer workflow: train once on a source domain,
+        ship the file, and reconstruct new datasets without retraining.
+        """
+        import json
+
+        if not self.is_fitted:
+            raise RuntimeError("cannot save an unfitted model")
+        payload = {
+            "format": "repro-marioh",
+            "version": 1,
+            "theta_init": self.theta_init,
+            "r": self.r,
+            "alpha": self.alpha,
+            "variant": self.variant,
+            "engine": self.engine,
+            "seed": self.seed,
+            "classifier": self.classifier._mlp.to_dict(),
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+
+    @classmethod
+    def load(cls, path) -> "MARIOH":
+        """Rebuild a fitted model written by :meth:`save`."""
+        import json
+
+        from repro.ml.mlp import MLPClassifier
+
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("format") != "repro-marioh":
+            raise ValueError(
+                f"not a MARIOH model file: format={payload.get('format')!r}"
+            )
+        if payload.get("version") != 1:
+            raise ValueError(f"unsupported version {payload.get('version')!r}")
+        model = cls(
+            theta_init=payload["theta_init"],
+            r=payload["r"],
+            alpha=payload["alpha"],
+            variant=payload["variant"],
+            engine=payload.get("engine", "rescan"),
+            seed=payload.get("seed"),
+        )
+        model.classifier._mlp = MLPClassifier.from_dict(payload["classifier"])
+        return model
+
+    def __repr__(self) -> str:
+        return (
+            f"MARIOH(variant={self.variant!r}, theta_init={self.theta_init}, "
+            f"r={self.r}, alpha={self.alpha:.4f}, seed={self.seed})"
+        )

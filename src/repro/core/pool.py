@@ -1,0 +1,96 @@
+"""Incremental maintenance of a graph's maximal cliques.
+
+MARIOH's search loop (Algorithm 3) re-enumerates the maximal cliques of
+the shrinking intermediate graph every iteration.  That rescan is simple
+and matches the paper's pseudocode, but most of the graph is untouched
+between iterations.  :class:`CliqueCandidatePool` keeps the maximal
+cliques up to date under edge *removals* using two facts:
+
+1. An unaffected maximal clique stays maximal: removing edges elsewhere
+   cannot extend it (no adjacency is added) and cannot break it.
+2. A *newly* maximal clique must contain an endpoint of some removed
+   edge: for it to have been non-maximal before, it had an extender
+   vertex adjacent to all members, and that extender can only have been
+   disqualified by losing an edge into the clique.
+
+So after removals it suffices to (a) discard cliques containing a
+removed pair and (b) re-enumerate cliques inside the closed
+neighborhoods of removed-edge endpoints, keeping those that contain an
+endpoint and are maximal in the full graph.  The ``engine="rescan"``
+mode of :class:`~repro.core.marioh.MARIOH` remains the reference
+implementation; equivalence is covered by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+from repro.hypergraph.cliques import (
+    Clique,
+    is_maximal_clique,
+    maximal_cliques,
+)
+from repro.hypergraph.graph import Node, WeightedGraph
+
+
+class CliqueCandidatePool:
+    """The maximal cliques of ``graph``, maintained under edge removals.
+
+    The pool holds a reference to the graph it tracks; callers mutate
+    the graph (only via edge-weight decrements / removals) and then call
+    :meth:`notify_edges_removed` with the pairs whose last unit of
+    weight disappeared.
+    """
+
+    def __init__(self, graph: WeightedGraph) -> None:
+        self._graph = graph
+        self._cliques: Set[Clique] = set(maximal_cliques(graph))
+
+    def current(self) -> List[Clique]:
+        """The maximal cliques, sorted for deterministic iteration
+        (same order as :func:`maximal_cliques_list`)."""
+        return sorted(self._cliques, key=lambda c: (len(c), sorted(c)))
+
+    def __len__(self) -> int:
+        return len(self._cliques)
+
+    def notify_edges_removed(
+        self, pairs: Iterable[Tuple[Node, Node]]
+    ) -> None:
+        """Update the clique set after the given edges vanished.
+
+        ``pairs`` are edges whose weight reached zero (they no longer
+        exist in the graph).  Decrements that leave positive weight do
+        not change the clique structure and need no notification.
+        """
+        removed = [frozenset(pair) for pair in pairs]
+        if not removed:
+            return
+        endpoints: Set[Node] = set()
+        for pair in removed:
+            endpoints.update(pair)
+
+        # (a) Broken cliques: any clique containing a removed pair.
+        self._cliques = {
+            clique
+            for clique in self._cliques
+            if not any(pair <= clique for pair in removed)
+        }
+
+        # (b) Newly maximal cliques all contain a removed-edge endpoint,
+        # and any clique through a vertex lives inside its closed
+        # neighborhood - so the induced subgraph on those closed
+        # neighborhoods sees every candidate.
+        region: Set[Node] = set(endpoints)
+        for node in endpoints:
+            region.update(self._graph.neighbors(node))
+        subgraph = self._graph.subgraph(region)
+        for clique in maximal_cliques(subgraph):
+            if not (clique & endpoints):
+                continue
+            if is_maximal_clique(self._graph, clique):
+                self._cliques.add(clique)
+
+    def matches_rescan(self) -> bool:
+        """Debug helper: does the pool equal a fresh enumeration?"""
+        return self._cliques == set(maximal_cliques(self._graph))

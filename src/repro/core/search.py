@@ -1,0 +1,171 @@
+"""Bidirectional search over candidate cliques (Algorithm 3).
+
+One call performs one iteration: enumerate the maximal cliques of the
+intermediate graph ``G'``, score them, greedily convert the most
+promising (score > θ) into hyperedges while updating the graph, then
+sample sub-cliques from the least promising r% and convert those whose
+scores clear θ as well.  The caller (Algorithm 1) loops until the graph
+runs out of edges, decaying θ after every iteration.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.classifier import CliqueClassifier
+from repro.hypergraph.cliques import Clique, maximal_cliques_list
+from repro.hypergraph.graph import WeightedGraph
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def _replace_if_present(
+    clique: Clique, graph: WeightedGraph, reconstruction: Hypergraph
+) -> Optional[List[Tuple[int, int]]]:
+    """Convert ``clique`` into a hyperedge if all its edges still exist.
+
+    On success, every internal edge's multiplicity drops by one (removed
+    at zero), the clique is added to the reconstruction, and the list of
+    pairs whose edges *vanished* (hit weight zero) is returned.  Returns
+    ``None`` when the clique no longer exists in the graph.
+    """
+    members = sorted(clique)
+    pairs = list(combinations(members, 2))
+    if any(not graph.has_edge(u, v) for u, v in pairs):
+        return None
+    reconstruction.add(members)
+    vanished = []
+    for u, v in pairs:
+        if graph.decrement_edge(u, v) == 0:
+            vanished.append((u, v))
+    return vanished
+
+
+def sample_subcliques(
+    cliques: Sequence[Clique], rng: np.random.Generator
+) -> List[Clique]:
+    """Phase 2 sampling: one random k-subset per size k in [2, |Q|-1].
+
+    Yields sum_Q (|Q| - 2) sub-cliques, deduplicated, as in the paper's
+    definition of ``Q_sub``.
+    """
+    sampled: List[Clique] = []
+    seen = set()
+    for clique in cliques:
+        members = sorted(clique)
+        for k in range(2, len(members)):
+            chosen = rng.choice(len(members), size=k, replace=False)
+            subclique = frozenset(members[int(i)] for i in chosen)
+            if subclique not in seen:
+                seen.add(subclique)
+                sampled.append(subclique)
+    return sampled
+
+
+def bidirectional_search(
+    graph: WeightedGraph,
+    classifier: CliqueClassifier,
+    theta: float,
+    r: float,
+    reconstruction: Hypergraph,
+    rng: Optional[np.random.Generator] = None,
+    reference_graph: Optional[WeightedGraph] = None,
+    skip_negative_phase: bool = False,
+    pool: Optional["CliqueCandidatePool"] = None,
+    recorder: Optional[List[Tuple[Clique, str, float]]] = None,
+) -> Tuple[WeightedGraph, Hypergraph, int]:
+    """One iteration of Algorithm 3, mutating ``graph`` and ``reconstruction``.
+
+    Parameters
+    ----------
+    graph:
+        The intermediate graph ``G'`` (mutated in place).
+    classifier:
+        The trained multiplicity-aware classifier ``M``.
+    theta:
+        Current classification threshold θ.
+    r:
+        Negative prediction processing ratio, in percent.
+    reconstruction:
+        The reconstructed hypergraph so far (mutated in place).
+    rng:
+        Random generator for sub-clique sampling.
+    reference_graph:
+        Graph used for the maximality feature (the original ``G``);
+        defaults to the current graph.
+    skip_negative_phase:
+        When True, Phase 2 is skipped entirely - this is the MARIOH-B
+        ablation.
+    pool:
+        Optional :class:`~repro.core.pool.CliqueCandidatePool` tracking
+        ``graph``; when given, maximal cliques come from the pool and
+        edge removals are pushed back into it instead of re-enumerating
+        from scratch (the ``engine="incremental"`` fast path).
+    recorder:
+        Optional list collecting ``(clique, phase, score)`` tuples for
+        every conversion (``phase`` is ``"phase1"`` or ``"phase2"``) -
+        the raw material of reconstruction provenance.
+
+    Returns ``(graph, reconstruction, n_converted)`` where the count says
+    how many cliques became hyperedges this iteration.
+    """
+    if not 0.0 <= r <= 100.0:
+        raise ValueError(f"r must be a percentage in [0, 100], got {r}")
+    if rng is None:
+        rng = np.random.default_rng()
+
+    cliques = pool.current() if pool is not None else maximal_cliques_list(graph)
+    if not cliques:
+        return graph, reconstruction, 0
+    scores = classifier.score(cliques, graph, reference_graph)
+
+    positive_indices = [i for i, s in enumerate(scores) if s > theta]
+    positive_indices.sort(key=lambda i: -scores[i])
+    remaining = [i for i, s in enumerate(scores) if s <= theta]
+    remaining.sort(key=lambda i: scores[i])
+    n_negative = int(np.ceil(len(remaining) * r / 100.0))
+    negative_indices = remaining[:n_negative]
+
+    converted = 0
+    vanished_pairs: List[Tuple[int, int]] = []
+
+    # Phase 1: most promising maximal cliques, in descending score order.
+    for index in positive_indices:
+        vanished = _replace_if_present(cliques[index], graph, reconstruction)
+        if vanished is not None:
+            converted += 1
+            vanished_pairs.extend(vanished)
+            if recorder is not None:
+                recorder.append((cliques[index], "phase1", float(scores[index])))
+
+    # Phase 2: sub-cliques hidden inside the least promising cliques.
+    if not skip_negative_phase and negative_indices:
+        subcliques = sample_subcliques(
+            [cliques[i] for i in negative_indices], rng
+        )
+        if subcliques:
+            sub_scores = classifier.score(subcliques, graph, reference_graph)
+            passing = [
+                (score, subclique)
+                for score, subclique in zip(sub_scores, subcliques)
+                if score > theta
+            ]
+            passing.sort(key=lambda pair: -pair[0])
+            for score, subclique in passing:
+                vanished = _replace_if_present(subclique, graph, reconstruction)
+                if vanished is not None:
+                    converted += 1
+                    vanished_pairs.extend(vanished)
+                    if recorder is not None:
+                        recorder.append((subclique, "phase2", float(score)))
+
+    if pool is not None:
+        pool.notify_edges_removed(vanished_pairs)
+    return graph, reconstruction, converted
+
+
+def decay_threshold(theta: float, theta_init: float, alpha: float) -> float:
+    """Adaptive threshold update: ``θ <- max(θ - α·θ_init, 0)``."""
+    return max(theta - alpha * theta_init, 0.0)

@@ -1,0 +1,29 @@
+"""Regime-calibrated synthetic datasets.
+
+The paper evaluates on ten public hypergraphs (Table I).  Those files are
+not available in this offline environment, so this subpackage generates
+seeded synthetic analogues whose *regimes* match Table I: dense social
+contact data with heavy repetition (Enron / P.School / H.School),
+near-simple sparse affiliation data (Crime / Hosts / Directors /
+Foursquare / MAG-*), and mid-density co-authorship (DBLP / Eu).  Large
+datasets are scaled down so every experiment finishes on a laptop; see
+DESIGN.md for the substitution rationale.
+
+``load(name, seed)`` returns a :class:`DatasetBundle` with the full
+hypergraph, its source/target split, both projections, and node labels
+when the analogue dataset has them.
+"""
+
+from repro.datasets.hypercl import hypercl
+from repro.datasets.registry import DATASETS, DatasetBundle, available, load
+from repro.datasets.synthetic import GroupInteractionConfig, generate_group_hypergraph
+
+__all__ = [
+    "load",
+    "available",
+    "DATASETS",
+    "DatasetBundle",
+    "GroupInteractionConfig",
+    "generate_group_hypergraph",
+    "hypercl",
+]

@@ -1,0 +1,81 @@
+"""HyperCL generator (Lee, Choe & Shin [38]).
+
+Chung-Lu-style hypergraph generation: each hyperedge draws its size from
+a given size sequence and its members proportionally to a given node
+degree sequence.  The paper uses HyperCL with DBLP statistics to build
+the growing inputs of the Fig. 7 scalability study; we use it the same
+way.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def hypercl(
+    degree_weights: Sequence[float],
+    hyperedge_sizes: Sequence[int],
+    seed: Optional[int] = None,
+) -> Hypergraph:
+    """Generate a hypergraph with expected degrees ``degree_weights``.
+
+    Parameters
+    ----------
+    degree_weights:
+        One positive weight per node; members of each hyperedge are
+        sampled without replacement proportionally to these weights.
+    hyperedge_sizes:
+        The size of every hyperedge to generate (must each be >= 2 and
+        <= number of nodes).
+    seed:
+        RNG seed.
+    """
+    weights = np.asarray(degree_weights, dtype=np.float64)
+    if len(weights) < 2:
+        raise ValueError(f"need >= 2 nodes, got {len(weights)}")
+    if (weights <= 0).any():
+        raise ValueError("degree weights must be positive")
+    probabilities = weights / weights.sum()
+    n_nodes = len(weights)
+
+    hypergraph = Hypergraph(nodes=range(n_nodes))
+    rng = np.random.default_rng(seed)
+    for size in hyperedge_sizes:
+        if size < 2 or size > n_nodes:
+            raise ValueError(f"hyperedge size {size} out of range [2, {n_nodes}]")
+        members = rng.choice(n_nodes, size=size, replace=False, p=probabilities)
+        hypergraph.add(int(m) for m in members)
+    return hypergraph
+
+
+def hypercl_like(
+    reference: Hypergraph, scale: float = 1.0, seed: Optional[int] = None
+) -> Hypergraph:
+    """HyperCL with degree/size statistics borrowed from ``reference``.
+
+    ``scale`` multiplies both the node count and the hyperedge count,
+    which is how the scalability benchmark grows its inputs while keeping
+    DBLP-like structure.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    nodes = sorted(reference.nodes)
+    degrees = np.asarray(
+        [max(1, reference.unique_degree(u)) for u in nodes], dtype=np.float64
+    )
+    sizes = [len(edge) for edge in reference]
+    if not sizes:
+        raise ValueError("reference hypergraph has no hyperedges")
+
+    rng = np.random.default_rng(seed)
+    n_nodes = max(4, int(round(len(nodes) * scale)))
+    n_edges = max(2, int(round(len(sizes) * scale)))
+    degree_weights = rng.choice(degrees, size=n_nodes, replace=True)
+    hyperedge_sizes = [
+        min(int(s), n_nodes) for s in rng.choice(sizes, size=n_edges, replace=True)
+    ]
+    return hypercl(degree_weights, hyperedge_sizes, seed=seed)

@@ -1,0 +1,51 @@
+"""Dataset summary statistics (the paper's Table I columns).
+
+For any hypergraph, compute the quantities Table I reports: node count,
+unique hyperedge count, average hyperedge multiplicity, projected edge
+count, and average edge multiplicity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.projection import project
+
+
+@dataclasses.dataclass(frozen=True)
+class TableOneStats:
+    """One row of Table I."""
+
+    num_nodes: int
+    num_unique_hyperedges: int
+    avg_hyperedge_multiplicity: float
+    num_projected_edges: int
+    avg_edge_multiplicity: float
+
+    def as_row(self, name: str) -> str:
+        return (
+            f"{name:<14} |V|={self.num_nodes:>6} "
+            f"|E_H|={self.num_unique_hyperedges:>6} "
+            f"avg M_H={self.avg_hyperedge_multiplicity:>5.2f} "
+            f"|E_G|={self.num_projected_edges:>6} "
+            f"avg w={self.avg_edge_multiplicity:>5.2f}"
+        )
+
+
+def table_one_stats(hypergraph: Hypergraph) -> TableOneStats:
+    """Compute the Table I summary row for ``hypergraph``."""
+    graph = project(hypergraph)
+    weights = [w for _, _, w in graph.edges_with_weights()]
+    unique = hypergraph.num_unique_edges
+    return TableOneStats(
+        num_nodes=hypergraph.num_nodes,
+        num_unique_hyperedges=unique,
+        avg_hyperedge_multiplicity=(
+            hypergraph.num_edges_with_multiplicity / unique if unique else 0.0
+        ),
+        num_projected_edges=graph.num_edges,
+        avg_edge_multiplicity=float(np.mean(weights)) if weights else 0.0,
+    )

@@ -1,0 +1,23 @@
+"""Downstream tasks used to evaluate reconstruction utility (Sect. IV-D).
+
+Node clustering (Table VII), node classification (Table VIII), and link
+prediction (Table IX).  Each harness accepts either a projected graph or
+a hypergraph (ground truth or reconstructed), so the paper's comparison
+rows can be produced uniformly.
+"""
+
+from repro.downstream.classification import node_classification_f1
+from repro.downstream.clustering import spectral_clustering_nmi
+from repro.downstream.hyperedge_prediction import (
+    hyperedge_prediction_auc,
+    split_hyperedges,
+)
+from repro.downstream.linkpred import link_prediction_auc
+
+__all__ = [
+    "spectral_clustering_nmi",
+    "node_classification_f1",
+    "link_prediction_auc",
+    "hyperedge_prediction_auc",
+    "split_hyperedges",
+]

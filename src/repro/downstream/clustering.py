@@ -1,0 +1,126 @@
+"""Spectral node clustering evaluated by NMI (Table VII).
+
+Embed nodes with the appropriate Laplacian (graph or hypergraph), run
+k-means (implemented here on NumPy, k-means++ initialization), and score
+the clustering against ground-truth labels with normalized mutual
+information.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.hypergraph.graph import WeightedGraph
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.ml.metrics import normalized_mutual_information
+from repro.ml.spectral import (
+    graph_spectral_embedding,
+    hypergraph_spectral_embedding,
+)
+
+
+def kmeans(
+    points: np.ndarray,
+    n_clusters: int,
+    seed: Optional[int] = None,
+    n_iterations: int = 100,
+    n_restarts: int = 8,
+) -> np.ndarray:
+    """Lloyd's algorithm with k-means++ seeding and restarts.
+
+    Runs ``n_restarts`` independent initializations and returns the
+    labeling with the lowest within-cluster sum of squares, which keeps
+    spectral clustering out of the poor local optima a single run of
+    Lloyd's algorithm is prone to.
+    """
+    if n_clusters < 1:
+        raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+    n = len(points)
+    if n == 0:
+        raise ValueError("cannot cluster zero points")
+    rng = np.random.default_rng(seed)
+    best_labels: Optional[np.ndarray] = None
+    best_inertia = np.inf
+    for _ in range(max(1, n_restarts)):
+        labels, inertia = _kmeans_once(points, n_clusters, rng, n_iterations)
+        if inertia < best_inertia:
+            best_labels, best_inertia = labels, inertia
+    assert best_labels is not None
+    return best_labels
+
+
+def _kmeans_once(
+    points: np.ndarray,
+    n_clusters: int,
+    rng: np.random.Generator,
+    n_iterations: int,
+) -> "tuple[np.ndarray, float]":
+    """One k-means++ initialized Lloyd run; returns (labels, inertia)."""
+    n = len(points)
+    n_clusters = min(n_clusters, n)
+
+    # k-means++ initialization.
+    centers = [points[int(rng.integers(n))]]
+    for _ in range(1, n_clusters):
+        distances = np.min(
+            [np.sum((points - c) ** 2, axis=1) for c in centers], axis=0
+        )
+        total = distances.sum()
+        if total <= 0:
+            centers.append(points[int(rng.integers(n))])
+            continue
+        probabilities = distances / total
+        centers.append(points[int(rng.choice(n, p=probabilities))])
+    center_matrix = np.asarray(centers)
+
+    labels = np.zeros(n, dtype=int)
+    for _ in range(n_iterations):
+        squared = (
+            np.sum(points**2, axis=1, keepdims=True)
+            - 2.0 * points @ center_matrix.T
+            + np.sum(center_matrix**2, axis=1)[None, :]
+        )
+        new_labels = np.argmin(squared, axis=1)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for c in range(n_clusters):
+            mask = labels == c
+            if mask.any():
+                center_matrix[c] = points[mask].mean(axis=0)
+    inertia = float(
+        np.sum((points - center_matrix[labels]) ** 2)
+    )
+    return labels, inertia
+
+
+def spectral_clustering_nmi(
+    structure: Union[WeightedGraph, Hypergraph],
+    labels: Dict[int, int],
+    n_clusters: Optional[int] = None,
+    dimensions: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> float:
+    """Spectral clustering NMI against ``labels``.
+
+    ``structure`` may be a projected graph or a hypergraph; the matching
+    Laplacian embedding is chosen automatically.  ``dimensions`` defaults
+    to the number of clusters - the standard Ng-Jordan-Weiss choice;
+    extra eigenvectors add within-cluster variation that hurts k-means.
+    """
+    k = n_clusters if n_clusters is not None else len(set(labels.values()))
+    dims = dimensions if dimensions is not None else max(2, k)
+    if isinstance(structure, Hypergraph):
+        embedding, ordered = hypergraph_spectral_embedding(structure, dims)
+    else:
+        embedding, ordered = graph_spectral_embedding(structure, dims)
+
+    labeled = [i for i, node in enumerate(ordered) if node in labels]
+    if not labeled:
+        raise ValueError("no labeled nodes present in the structure")
+    points = embedding[labeled]
+    truth = [labels[ordered[i]] for i in labeled]
+    predicted = kmeans(points, k, seed=seed)
+    return normalized_mutual_information(truth, predicted)

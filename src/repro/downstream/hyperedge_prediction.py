@@ -1,0 +1,132 @@
+"""Hyperedge prediction (extension downstream task).
+
+The paper's introduction lists hyperedge prediction [24] among the
+hypergraph tools that reconstruction unlocks.  This harness makes that
+concrete: hold out a fraction of a hypergraph's hyperedges, score
+held-out positives against size-matched negative node sets using clique
+features computed on an observed structure, and report AUC.
+
+Comparing feature sources shows the reconstruction's value: features
+from MARIOH's reconstructed hypergraph (via its projection) track the
+ground-truth structure far better than features from the raw projected
+graph of only the *observed* half.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.features import CliqueFeaturizer
+from repro.hypergraph.graph import WeightedGraph
+from repro.hypergraph.hypergraph import Edge, Hypergraph
+from repro.hypergraph.projection import project
+from repro.ml.metrics import roc_auc_score
+from repro.ml.mlp import MLPClassifier
+
+
+def split_hyperedges(
+    hypergraph: Hypergraph,
+    holdout_fraction: float = 0.2,
+    seed: Optional[int] = None,
+) -> Tuple[Hypergraph, List[Edge]]:
+    """Split into (observed hypergraph, held-out unique hyperedges)."""
+    if not 0.0 < holdout_fraction < 1.0:
+        raise ValueError(
+            f"holdout_fraction must be in (0, 1), got {holdout_fraction}"
+        )
+    edges = sorted(hypergraph.edges(), key=sorted)
+    if len(edges) < 5:
+        raise ValueError(f"need >= 5 hyperedges, got {len(edges)}")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(edges))
+    n_holdout = max(1, int(round(len(edges) * holdout_fraction)))
+    holdout_idx = set(order[:n_holdout].tolist())
+
+    observed = Hypergraph(nodes=hypergraph.nodes)
+    held_out: List[Edge] = []
+    for index, edge in enumerate(edges):
+        if index in holdout_idx:
+            held_out.append(edge)
+        else:
+            observed.add(edge, hypergraph.multiplicity(edge))
+    return observed, held_out
+
+
+def sample_negative_sets(
+    hypergraph: Hypergraph,
+    sizes: Sequence[int],
+    seed: Optional[int] = None,
+) -> List[Edge]:
+    """Size-matched random node sets that are not hyperedges."""
+    nodes = sorted(hypergraph.nodes)
+    if len(nodes) < max(sizes, default=2):
+        raise ValueError("node universe smaller than requested set sizes")
+    rng = np.random.default_rng(seed)
+    negatives: List[Edge] = []
+    existing = set(hypergraph.edges())
+    attempts = 0
+    max_attempts = 200 * len(sizes)
+    while len(negatives) < len(sizes) and attempts < max_attempts:
+        attempts += 1
+        size = sizes[len(negatives)]
+        members = frozenset(
+            nodes[int(i)] for i in rng.choice(len(nodes), size=size, replace=False)
+        )
+        if members not in existing:
+            negatives.append(members)
+    if len(negatives) < len(sizes):
+        raise RuntimeError("could not sample enough negative node sets")
+    return negatives
+
+
+def hyperedge_prediction_auc(
+    observed_structure: Hypergraph,
+    truth: Hypergraph,
+    holdout: Sequence[Edge],
+    seed: Optional[int] = None,
+) -> float:
+    """AUC of ranking held-out hyperedges above size-matched negatives.
+
+    ``observed_structure`` supplies the features (its projection feeds
+    the multiplicity-aware featurizer); ``truth`` only supplies the
+    negative-sampling exclusion set.  Train/test split is 50/50 over the
+    holdout positives and their negatives.
+    """
+    holdout = list(holdout)
+    if len(holdout) < 4:
+        raise ValueError(f"need >= 4 held-out hyperedges, got {len(holdout)}")
+    rng = np.random.default_rng(seed)
+    graph = project(observed_structure)
+    # Ensure every holdout node exists in the feature graph.
+    for edge in holdout:
+        for node in edge:
+            graph.add_node(node)
+
+    negatives = sample_negative_sets(
+        truth, [len(edge) for edge in holdout], seed=seed
+    )
+    candidates = holdout + negatives
+    labels = np.concatenate(
+        [np.ones(len(holdout), dtype=int), np.zeros(len(negatives), dtype=int)]
+    )
+
+    featurizer = CliqueFeaturizer()
+    features = featurizer.featurize_many(candidates, graph)
+
+    order = rng.permutation(len(candidates))
+    cut = len(candidates) // 2
+    train_idx, test_idx = order[:cut], order[cut:]
+    for idx in (train_idx, test_idx):
+        if len(set(labels[idx].tolist())) < 2:
+            positives = np.flatnonzero(labels == 1)
+            negative_rows = np.flatnonzero(labels == 0)
+            train_idx = np.concatenate([positives[::2], negative_rows[::2]])
+            test_idx = np.concatenate([positives[1::2], negative_rows[1::2]])
+            break
+
+    model = MLPClassifier(hidden_sizes=(32,), max_epochs=120, seed=seed)
+    model.fit(features[train_idx], labels[train_idx])
+    scores = model.predict_score(features[test_idx])
+    return roc_auc_score(labels[test_idx], scores)

@@ -1,0 +1,143 @@
+"""Link prediction harness (Table IX).
+
+Protocol, following Sect. IV-D:
+
+1. Pair every edge of the projected graph with an equal number of random
+   non-edges (balanced labels).
+2. Split 90% / 10% into train and test; test edges are removed from the
+   graph used for features and embeddings (no leakage).
+3. When evaluating a hypergraph input, hyperedges containing any test
+   edge are excluded (shared hyperedge membership trivially implies a
+   link) and the two hypergraph-specific features are appended.
+4. A two-layer GCN over the (training) graph produces pooled link
+   embeddings appended to the heuristic features.
+5. An MLP on the concatenated features is scored by AUC on the test
+   pairs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.downstream.features import graph_pair_features, hypergraph_pair_features
+from repro.hypergraph.graph import Node, WeightedGraph
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.ml.gcn import GCNLinkEmbedder
+from repro.ml.metrics import roc_auc_score
+from repro.ml.mlp import MLPClassifier
+
+Pair = Tuple[Node, Node]
+
+
+def _sample_non_edges(
+    graph: WeightedGraph, n_samples: int, rng: np.random.Generator
+) -> List[Pair]:
+    """Uniformly sample node pairs that are not edges of ``graph``."""
+    nodes = sorted(graph.nodes)
+    if len(nodes) < 2:
+        raise ValueError("graph needs >= 2 nodes to sample non-edges")
+    non_edges: List[Pair] = []
+    seen = set()
+    max_attempts = n_samples * 100
+    attempts = 0
+    while len(non_edges) < n_samples and attempts < max_attempts:
+        attempts += 1
+        u, v = rng.choice(len(nodes), size=2, replace=False)
+        pair = (nodes[int(min(u, v))], nodes[int(max(u, v))])
+        if pair in seen or graph.has_edge(*pair):
+            continue
+        seen.add(pair)
+        non_edges.append(pair)
+    if len(non_edges) < n_samples:
+        raise RuntimeError(
+            f"could only sample {len(non_edges)}/{n_samples} non-edges; "
+            "graph may be too dense"
+        )
+    return non_edges
+
+
+def link_prediction_auc(
+    graph: WeightedGraph,
+    hypergraph: Optional[Hypergraph] = None,
+    test_fraction: float = 0.1,
+    use_gcn: bool = True,
+    seed: Optional[int] = None,
+) -> float:
+    """AUC of link prediction on ``graph``.
+
+    Pass ``hypergraph`` (ground truth or a reconstruction) to evaluate
+    the hypergraph setting; omit it for the projected-graph setting.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = np.random.default_rng(seed)
+
+    edges: List[Pair] = sorted(graph.edges())
+    if len(edges) < 10:
+        raise ValueError(f"graph has only {len(edges)} edges; need >= 10")
+    non_edges = _sample_non_edges(graph, len(edges), rng)
+
+    pairs = edges + non_edges
+    labels = np.concatenate([np.ones(len(edges)), np.zeros(len(non_edges))])
+    order = rng.permutation(len(pairs))
+    n_test = max(1, int(round(len(pairs) * test_fraction)))
+    test_idx, train_idx = order[:n_test], order[n_test:]
+
+    # Ensure both classes appear in the test set; swap one sample if not.
+    if len(set(labels[test_idx])) < 2:
+        for swap_position, candidate in enumerate(train_idx):
+            if labels[candidate] != labels[test_idx[0]]:
+                test_idx = np.append(test_idx[:-1], candidate)
+                train_idx = np.delete(train_idx, swap_position)
+                train_idx = np.append(train_idx, order[n_test - 1])
+                break
+
+    # Remove test *positive* edges from the graph used for features.
+    train_graph = graph.copy()
+    test_pairs_set = {tuple(pairs[i]) for i in test_idx if labels[i] == 1}
+    for u, v in test_pairs_set:
+        train_graph.remove_edge(u, v)
+
+    # Exclude hyperedges containing a test edge (they leak the answer).
+    filtered_hypergraph: Optional[Hypergraph] = None
+    if hypergraph is not None:
+        filtered_hypergraph = Hypergraph(nodes=hypergraph.nodes)
+        for edge, multiplicity in hypergraph.items():
+            members = sorted(edge)
+            leaky = any(
+                (min(u, v), max(u, v)) in test_pairs_set
+                for i, u in enumerate(members)
+                for v in members[i + 1 :]
+            )
+            if not leaky:
+                filtered_hypergraph.add(edge, multiplicity)
+
+    def featurize(indices: np.ndarray) -> np.ndarray:
+        subset = [pairs[i] for i in indices]
+        if filtered_hypergraph is not None:
+            return hypergraph_pair_features(train_graph, filtered_hypergraph, subset)
+        return graph_pair_features(train_graph, subset)
+
+    train_features = featurize(train_idx)
+    test_features = featurize(test_idx)
+
+    if use_gcn:
+        embedder = GCNLinkEmbedder(epochs=60, seed=seed)
+        embedder.fit(
+            train_graph,
+            [pairs[i] for i in train_idx],
+            labels[train_idx].astype(int),
+        )
+        train_features = np.hstack(
+            [train_features, embedder.embed_pairs([pairs[i] for i in train_idx])]
+        )
+        test_features = np.hstack(
+            [test_features, embedder.embed_pairs([pairs[i] for i in test_idx])]
+        )
+
+    model = MLPClassifier(hidden_sizes=(32,), max_epochs=120, seed=seed)
+    model.fit(train_features, labels[train_idx].astype(int))
+    scores = model.predict_score(test_features)
+    return roc_auc_score(labels[test_idx].astype(int), scores)

@@ -1,0 +1,24 @@
+"""Experiment harness shared by the benchmark suite.
+
+``run_method`` executes one (method, dataset) cell with timing;
+``accuracy_table`` sweeps methods x datasets; ``format_table`` renders
+paper-style rows.  Every benchmark under ``benchmarks/`` builds on these.
+"""
+
+from repro.experiments.harness import (
+    MethodResult,
+    accuracy_table,
+    make_method,
+    method_registry,
+    run_method,
+)
+from repro.experiments.tables import format_table
+
+__all__ = [
+    "MethodResult",
+    "run_method",
+    "accuracy_table",
+    "make_method",
+    "method_registry",
+    "format_table",
+]

@@ -1,0 +1,127 @@
+"""Multi-seed evaluation with confidence intervals and paired tests.
+
+The paper reports mean +- std over repeated runs.  For a
+production-grade comparison this module adds bootstrap confidence
+intervals and a paired sign test, so "method A beats method B" claims
+can carry uncertainty estimates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.registry import DatasetBundle
+from repro.experiments.harness import run_method
+
+
+@dataclasses.dataclass(frozen=True)
+class SeedSweepResult:
+    """Scores of one method across seeds, with summary statistics."""
+
+    method: str
+    dataset: str
+    scores: Tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.scores))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.scores))
+
+    def confidence_interval(
+        self, level: float = 0.95, n_bootstrap: int = 2000, seed: int = 0
+    ) -> Tuple[float, float]:
+        """Bootstrap percentile CI of the mean score."""
+        if not 0.0 < level < 1.0:
+            raise ValueError(f"level must be in (0, 1), got {level}")
+        rng = np.random.default_rng(seed)
+        scores = np.asarray(self.scores)
+        means = rng.choice(
+            scores, size=(n_bootstrap, len(scores)), replace=True
+        ).mean(axis=1)
+        alpha = (1.0 - level) / 2.0
+        return (
+            float(np.quantile(means, alpha)),
+            float(np.quantile(means, 1.0 - alpha)),
+        )
+
+
+def seed_sweep(
+    method: str,
+    bundle: DatasetBundle,
+    seeds: Sequence[int],
+    preserve_multiplicity: bool = False,
+) -> SeedSweepResult:
+    """Run ``method`` on ``bundle`` once per seed."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    scores = []
+    for seed in seeds:
+        result = run_method(
+            method, bundle, preserve_multiplicity=preserve_multiplicity, seed=seed
+        )
+        scores.append(
+            result.multi_jaccard if preserve_multiplicity else result.jaccard
+        )
+    return SeedSweepResult(
+        method=method, dataset=bundle.name, scores=tuple(scores)
+    )
+
+
+def paired_sign_test(
+    scores_a: Sequence[float], scores_b: Sequence[float]
+) -> float:
+    """Two-sided sign-test p-value for paired score sequences.
+
+    Under H0 (neither method better), each non-tied pair favors A with
+    probability 1/2; the p-value is the binomial tail.  Returns 1.0 when
+    every pair ties.
+    """
+    if len(scores_a) != len(scores_b):
+        raise ValueError(f"{len(scores_a)} vs {len(scores_b)} paired scores")
+    wins_a = sum(1 for a, b in zip(scores_a, scores_b) if a > b)
+    wins_b = sum(1 for a, b in zip(scores_a, scores_b) if b > a)
+    n = wins_a + wins_b
+    if n == 0:
+        return 1.0
+    k = max(wins_a, wins_b)
+    from math import comb
+
+    tail = sum(comb(n, i) for i in range(k, n + 1)) / 2.0**n
+    return float(min(1.0, 2.0 * tail))
+
+
+def compare_methods(
+    method_a: str,
+    method_b: str,
+    bundles: Sequence[DatasetBundle],
+    seeds: Sequence[int] = (0, 1, 2),
+    preserve_multiplicity: bool = False,
+) -> Dict[str, object]:
+    """Paired comparison of two methods over datasets x seeds.
+
+    Returns a dict with per-dataset means, the pooled paired scores, and
+    the sign-test p-value for the pooled comparison.
+    """
+    pooled_a: List[float] = []
+    pooled_b: List[float] = []
+    per_dataset = {}
+    for bundle in bundles:
+        sweep_a = seed_sweep(method_a, bundle, seeds, preserve_multiplicity)
+        sweep_b = seed_sweep(method_b, bundle, seeds, preserve_multiplicity)
+        pooled_a.extend(sweep_a.scores)
+        pooled_b.extend(sweep_b.scores)
+        per_dataset[bundle.name] = (sweep_a.mean, sweep_b.mean)
+    return {
+        "method_a": method_a,
+        "method_b": method_b,
+        "per_dataset": per_dataset,
+        "mean_a": float(np.mean(pooled_a)),
+        "mean_b": float(np.mean(pooled_b)),
+        "p_value": paired_sign_test(pooled_a, pooled_b),
+    }

@@ -1,0 +1,54 @@
+"""Render experiment results as paper-style text tables."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+
+def format_table(
+    table: Dict[str, Dict[str, Dict[str, float]]],
+    datasets: Sequence[str],
+    title: Optional[str] = None,
+    value_key: str = "mean",
+    std_key: Optional[str] = "std",
+    width: int = 14,
+) -> str:
+    """Format ``{method: {dataset: {...}}}`` like the paper's tables.
+
+    Cells show ``mean +- std`` (two decimals, Jaccard already scaled by
+    100 upstream).  The best value per column is marked with ``*``.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{'Method':<18}" + "".join(f"{d:>{width}}" for d in datasets)
+    lines.append(header)
+    lines.append("-" * len(header))
+
+    best: Dict[str, float] = {}
+    for dataset in datasets:
+        values = [
+            cells[dataset][value_key]
+            for cells in table.values()
+            if dataset in cells
+        ]
+        if values:
+            best[dataset] = max(values)
+
+    for method, cells in table.items():
+        row = f"{method:<18}"
+        for dataset in datasets:
+            if dataset not in cells:
+                row += f"{'-':>{width}}"
+                continue
+            mean = cells[dataset][value_key]
+            marker = "*" if abs(mean - best.get(dataset, np.inf)) < 1e-9 else " "
+            if std_key and std_key in cells[dataset]:
+                cell = f"{mean:6.2f}±{cells[dataset][std_key]:5.2f}{marker}"
+            else:
+                cell = f"{mean:6.2f}{marker}"
+            row += f"{cell:>{width}}"
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Hypergraph data model and graph substrate.
+
+This subpackage implements the data structures the paper's Preliminaries
+(Sect. II-A) define: the hypergraph ``H = (V, E*_H)`` as a multiset of
+hyperedges, its weighted projected graph ``G = (V, E_G, w)`` obtained by
+clique expansion, maximal-clique enumeration (Bron-Kerbosch), the
+source/target split used by Problem 1, and plain-text IO.
+"""
+
+from repro.hypergraph.cliques import is_clique, maximal_cliques
+from repro.hypergraph.graph import WeightedGraph
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.projection import project
+from repro.hypergraph.split import split_source_target
+
+__all__ = [
+    "Hypergraph",
+    "WeightedGraph",
+    "project",
+    "maximal_cliques",
+    "is_clique",
+    "split_source_target",
+]

@@ -1,0 +1,174 @@
+"""Weighted (projected) graph substrate.
+
+The projected graph ``G = (V, E_G, w)`` of a hypergraph stores, for each
+node pair, its *edge multiplicity* ``w_uv`` - the number of hyperedges
+(counting hyperedge multiplicity) containing both endpoints.  MARIOH's
+reconstruction loop repeatedly *decrements* these weights as cliques are
+converted into hyperedges, so the structure supports cheap decrement +
+edge removal and cheap copies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
+
+Node = int
+
+
+def _ordered(u: Node, v: Node) -> Tuple[Node, Node]:
+    return (u, v) if u <= v else (v, u)
+
+
+class WeightedGraph:
+    """Undirected graph with positive integer edge weights (multiplicities)."""
+
+    def __init__(self, nodes: Optional[Iterable[Node]] = None) -> None:
+        self._adj: Dict[Node, Dict[Node, int]] = {}
+        if nodes is not None:
+            for node in nodes:
+                self.add_node(node)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        self._adj.setdefault(node, {})
+
+    def add_edge(self, u: Node, v: Node, weight: int = 1) -> None:
+        """Add ``weight`` to the multiplicity of edge ``{u, v}``."""
+        if u == v:
+            raise ValueError(f"self-loops are not allowed (node {u})")
+        if weight < 1:
+            raise ValueError(f"edge weight increments must be >= 1, got {weight}")
+        self._adj.setdefault(u, {})
+        self._adj.setdefault(v, {})
+        self._adj[u][v] = self._adj[u].get(v, 0) + weight
+        self._adj[v][u] = self._adj[v].get(u, 0) + weight
+
+    def set_weight(self, u: Node, v: Node, weight: int) -> None:
+        """Set the multiplicity of edge ``{u, v}``; 0 removes the edge."""
+        if weight < 0:
+            raise ValueError(f"edge weights must be >= 0, got {weight}")
+        if weight == 0:
+            self.remove_edge(u, v)
+            return
+        self._adj.setdefault(u, {})
+        self._adj.setdefault(v, {})
+        self._adj[u][v] = weight
+        self._adj[v][u] = weight
+
+    def decrement_edge(self, u: Node, v: Node, amount: int = 1) -> int:
+        """Decrease the weight of ``{u, v}``; remove the edge at zero.
+
+        Returns the remaining weight.  Raises ``KeyError`` if absent and
+        ``ValueError`` on over-decrement, since both indicate a logic bug
+        in a reconstruction loop.
+        """
+        current = self.weight(u, v)
+        if current == 0:
+            raise KeyError(f"edge ({u}, {v}) not present")
+        if amount > current:
+            raise ValueError(
+                f"cannot decrement edge ({u}, {v}) by {amount}; weight is {current}"
+            )
+        remaining = current - amount
+        if remaining == 0:
+            del self._adj[u][v]
+            del self._adj[v][u]
+        else:
+            self._adj[u][v] = remaining
+            self._adj[v][u] = remaining
+        return remaining
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        if v in self._adj.get(u, {}):
+            del self._adj[u][v]
+            del self._adj[v][u]
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> FrozenSet[Node]:
+        return frozenset(self._adj)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return v in self._adj.get(u, {})
+
+    def weight(self, u: Node, v: Node) -> int:
+        """Edge multiplicity ``w_uv`` (0 when the edge is absent)."""
+        return self._adj.get(u, {}).get(v, 0)
+
+    def neighbors(self, node: Node) -> Iterator[Node]:
+        return iter(self._adj.get(node, {}))
+
+    def neighbor_weights(self, node: Node) -> Dict[Node, int]:
+        """Mapping neighbor -> edge weight for ``node`` (read-only view)."""
+        return self._adj.get(node, {})
+
+    def degree(self, node: Node) -> int:
+        """Number of distinct neighbors."""
+        return len(self._adj.get(node, {}))
+
+    def weighted_degree(self, node: Node) -> int:
+        """Sum of incident edge multiplicities (node-level MARIOH feature)."""
+        return sum(self._adj.get(node, {}).values())
+
+    def edges(self) -> Iterator[Tuple[Node, Node]]:
+        """Iterate each undirected edge once as an ordered pair (u <= v)."""
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if u <= v:
+                    yield (u, v)
+
+    def edges_with_weights(self) -> Iterator[Tuple[Node, Node, int]]:
+        for u, nbrs in self._adj.items():
+            for v, w in nbrs.items():
+                if u <= v:
+                    yield (u, v, w)
+
+    def total_weight(self) -> int:
+        """Sum of all edge multiplicities."""
+        return sum(w for _, _, w in self.edges_with_weights())
+
+    def common_neighbors(self, u: Node, v: Node) -> Set[Node]:
+        nu = self._adj.get(u, {})
+        nv = self._adj.get(v, {})
+        if len(nu) > len(nv):
+            nu, nv = nv, nu
+        return {z for z in nu if z in nv}
+
+    def is_empty(self) -> bool:
+        """True when no edges remain (the MARIOH loop's stop condition)."""
+        return all(not nbrs for nbrs in self._adj.values())
+
+    def subgraph(self, nodes: Iterable[Node]) -> "WeightedGraph":
+        """Induced subgraph on ``nodes`` (weights preserved)."""
+        keep = set(nodes)
+        sub = WeightedGraph(nodes=keep & set(self._adj))
+        for u in keep:
+            for v, w in self._adj.get(u, {}).items():
+                if v in keep and u < v:
+                    sub.add_edge(u, v, w)
+        return sub
+
+    def copy(self) -> "WeightedGraph":
+        clone = WeightedGraph()
+        clone._adj = {u: dict(nbrs) for u, nbrs in self._adj.items()}
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WeightedGraph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __repr__(self) -> str:
+        return f"WeightedGraph(num_nodes={self.num_nodes}, num_edges={self.num_edges})"

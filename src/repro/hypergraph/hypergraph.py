@@ -1,0 +1,209 @@
+"""The hypergraph data model.
+
+A hypergraph ``H = (V, E*_H)`` is a multiset of hyperedges; each hyperedge
+is a set of at least two nodes, and the same node set may appear several
+times (its *hyperedge multiplicity* ``M_H(e)``, Sect. II-A of the paper).
+Internally we store a counter mapping ``frozenset -> multiplicity`` plus an
+explicit node set, so isolated nodes survive round trips.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
+
+Node = int
+Edge = FrozenSet[Node]
+
+
+def as_edge(nodes: Iterable[Node]) -> Edge:
+    """Normalize an iterable of nodes into a hyperedge (frozenset).
+
+    Raises ``ValueError`` for edges with fewer than two distinct nodes,
+    matching the paper's requirement ``|e| >= 2``.
+    """
+    edge = frozenset(nodes)
+    if len(edge) < 2:
+        raise ValueError(f"hyperedges need >= 2 distinct nodes, got {set(edge)}")
+    return edge
+
+
+class Hypergraph:
+    """A multiset of hyperedges over a node set.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of hyperedges.  Each element is either an iterable of
+        nodes (multiplicity 1) or handled via :meth:`add` for explicit
+        multiplicities.
+    nodes:
+        Optional explicit node universe; nodes appearing in edges are
+        always included.
+    """
+
+    def __init__(
+        self,
+        edges: Optional[Iterable[Iterable[Node]]] = None,
+        nodes: Optional[Iterable[Node]] = None,
+    ) -> None:
+        self._multiplicity: Counter = Counter()
+        self._nodes: set = set(nodes) if nodes is not None else set()
+        if edges is not None:
+            for edge in edges:
+                self.add(edge)
+
+    # ------------------------------------------------------------------
+    # Construction / mutation
+    # ------------------------------------------------------------------
+    def add(self, nodes: Iterable[Node], multiplicity: int = 1) -> Edge:
+        """Add ``multiplicity`` copies of the hyperedge over ``nodes``."""
+        if multiplicity < 1:
+            raise ValueError(f"multiplicity must be >= 1, got {multiplicity}")
+        edge = as_edge(nodes)
+        self._multiplicity[edge] += multiplicity
+        self._nodes.update(edge)
+        return edge
+
+    def remove(self, nodes: Iterable[Node], multiplicity: int = 1) -> None:
+        """Remove ``multiplicity`` copies of a hyperedge.
+
+        Raises ``KeyError`` if the hyperedge is absent and ``ValueError``
+        if more copies are removed than exist.  Nodes are never removed.
+        """
+        edge = frozenset(nodes)
+        current = self._multiplicity.get(edge, 0)
+        if current == 0:
+            raise KeyError(f"hyperedge {set(edge)} not present")
+        if multiplicity > current:
+            raise ValueError(
+                f"cannot remove {multiplicity} copies of {set(edge)}; only {current} present"
+            )
+        if multiplicity == current:
+            del self._multiplicity[edge]
+        else:
+            self._multiplicity[edge] = current - multiplicity
+
+    def add_node(self, node: Node) -> None:
+        """Add an isolated node to the node universe."""
+        self._nodes.add(node)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> FrozenSet[Node]:
+        """The node universe ``V`` (including isolated nodes)."""
+        return frozenset(self._nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_unique_edges(self) -> int:
+        """``|E_H|`` - the number of distinct hyperedges."""
+        return len(self._multiplicity)
+
+    @property
+    def num_edges_with_multiplicity(self) -> int:
+        """``|E*_H|`` - hyperedge count including repeats."""
+        return sum(self._multiplicity.values())
+
+    def multiplicity(self, nodes: Iterable[Node]) -> int:
+        """``M_H(e)``: how many times the hyperedge appears (0 if absent)."""
+        return self._multiplicity.get(frozenset(nodes), 0)
+
+    def __contains__(self, nodes: object) -> bool:
+        if not isinstance(nodes, (set, frozenset, tuple, list)):
+            return False
+        return frozenset(nodes) in self._multiplicity
+
+    def __iter__(self) -> Iterator[Edge]:
+        """Iterate over *unique* hyperedges."""
+        return iter(self._multiplicity)
+
+    def __len__(self) -> int:
+        return len(self._multiplicity)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over unique hyperedges (alias of ``iter(self)``)."""
+        return iter(self._multiplicity)
+
+    def items(self) -> Iterator[Tuple[Edge, int]]:
+        """Iterate over ``(hyperedge, multiplicity)`` pairs."""
+        return iter(self._multiplicity.items())
+
+    def iter_multiset(self) -> Iterator[Edge]:
+        """Iterate over hyperedges *with* repetition (the multiset E*_H)."""
+        for edge, count in self._multiplicity.items():
+            for _ in range(count):
+                yield edge
+
+    def degree(self, node: Node) -> int:
+        """Number of hyperedge incidences of ``node``, counting multiplicity."""
+        return sum(
+            count for edge, count in self._multiplicity.items() if node in edge
+        )
+
+    def unique_degree(self, node: Node) -> int:
+        """Number of distinct hyperedges containing ``node``."""
+        return sum(1 for edge in self._multiplicity if node in edge)
+
+    def incident_edges(self, node: Node) -> Iterator[Edge]:
+        """Unique hyperedges containing ``node`` (``HE(u)`` in the paper)."""
+        return (edge for edge in self._multiplicity if node in edge)
+
+    def edge_sizes(self) -> Dict[int, int]:
+        """Histogram mapping hyperedge size -> count (unique edges)."""
+        sizes: Counter = Counter()
+        for edge in self._multiplicity:
+            sizes[len(edge)] += 1
+        return dict(sizes)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def reduce_multiplicity(self) -> "Hypergraph":
+        """Return the multiplicity-reduced copy: ``M_H(e) = 1`` for all e.
+
+        This mirrors the paper's experimental setting (Sect. IV-A).  Note
+        the *projected graph's* edge multiplicities are not reduced to 1
+        by this operation - overlapping distinct hyperedges still stack.
+        """
+        reduced = Hypergraph(nodes=self._nodes)
+        for edge in self._multiplicity:
+            reduced.add(edge)
+        return reduced
+
+    def induced_subhypergraph(self, nodes: Iterable[Node]) -> "Hypergraph":
+        """Sub-hypergraph of hyperedges fully contained in ``nodes``."""
+        keep = set(nodes)
+        sub = Hypergraph(nodes=keep & self._nodes)
+        for edge, count in self._multiplicity.items():
+            if edge <= keep:
+                sub.add(edge, count)
+        return sub
+
+    def copy(self) -> "Hypergraph":
+        clone = Hypergraph(nodes=self._nodes)
+        clone._multiplicity = Counter(self._multiplicity)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Comparison / repr
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Hypergraph):
+            return NotImplemented
+        return (
+            self._multiplicity == other._multiplicity
+            and self._nodes == other._nodes
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Hypergraph(num_nodes={self.num_nodes}, "
+            f"unique_edges={self.num_unique_edges}, "
+            f"total_edges={self.num_edges_with_multiplicity})"
+        )

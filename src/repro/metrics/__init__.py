@@ -1,0 +1,25 @@
+"""Reconstruction-quality metrics.
+
+Jaccard and multi-Jaccard similarity (the paper's headline accuracy
+numbers, Sect. II-B) and the 12 structural properties with their
+preservation errors (Table IV).
+"""
+
+from repro.metrics.jaccard import jaccard_similarity, multi_jaccard_similarity
+from repro.metrics.structure import (
+    distributional_properties,
+    ks_statistic,
+    normalized_difference,
+    scalar_properties,
+    structure_preservation_report,
+)
+
+__all__ = [
+    "jaccard_similarity",
+    "multi_jaccard_similarity",
+    "scalar_properties",
+    "distributional_properties",
+    "normalized_difference",
+    "ks_statistic",
+    "structure_preservation_report",
+]

@@ -1,0 +1,39 @@
+"""Jaccard and multi-Jaccard similarity between hypergraphs (Sect. II-B).
+
+``jaccard_similarity`` compares the *sets* of unique hyperedges;
+``multi_jaccard_similarity`` extends it to multisets by summing the
+min/max of per-hyperedge multiplicities over the union, following
+da Fontoura Costa's generalization [31].
+"""
+
+from __future__ import annotations
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+def jaccard_similarity(truth: Hypergraph, reconstruction: Hypergraph) -> float:
+    """``|E ∩ Ê| / |E ∪ Ê|`` over unique hyperedges.
+
+    Returns 1.0 when both hypergraphs are empty (they agree perfectly).
+    """
+    edges_truth = set(truth.edges())
+    edges_recon = set(reconstruction.edges())
+    union = edges_truth | edges_recon
+    if not union:
+        return 1.0
+    return len(edges_truth & edges_recon) / len(union)
+
+
+def multi_jaccard_similarity(truth: Hypergraph, reconstruction: Hypergraph) -> float:
+    """``sum min(M, M̂) / sum max(M, M̂)`` over the union of hyperedges."""
+    union = set(truth.edges()) | set(reconstruction.edges())
+    if not union:
+        return 1.0
+    numerator = 0
+    denominator = 0
+    for edge in union:
+        m_truth = truth.multiplicity(edge)
+        m_recon = reconstruction.multiplicity(edge)
+        numerator += min(m_truth, m_recon)
+        denominator += max(m_truth, m_recon)
+    return numerator / denominator

@@ -1,0 +1,102 @@
+"""Hyperedge-overlap profiles for domain characterization.
+
+The paper grounds transferability in the observation that "each domain
+has unique structural patterns" [28]-[30].  This module computes a
+compact overlap profile - how a hypergraph's hyperedges intersect each
+other - which acts as a domain fingerprint: same-domain datasets have
+close profiles, and MARIOH transfers best between them (see
+``benchmarks/bench_ext_domains.py``).
+
+The profile summarizes all intersecting hyperedge pairs by:
+
+- ``frac_nested``   - fraction with one edge contained in the other;
+- ``frac_equalish`` - fraction with Jaccard >= 0.5 (heavily shared);
+- ``mean_jaccard``  - average pairwise Jaccard;
+- ``mean_intersection`` - average intersection size;
+- ``intersecting_rate`` - intersecting pairs per hyperedge;
+- ``mean_size`` / ``frac_pairs`` - size-profile terms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.hypergraph.hypergraph import Hypergraph
+
+PROFILE_KEYS = (
+    "frac_nested",
+    "frac_equalish",
+    "mean_jaccard",
+    "mean_intersection",
+    "intersecting_rate",
+    "mean_size",
+    "frac_pairs",
+)
+
+
+def pairwise_overlap_profile(hypergraph: Hypergraph) -> Dict[str, float]:
+    """Overlap fingerprint of a hypergraph (unique hyperedges only)."""
+    edges: List[frozenset] = list(hypergraph.edges())
+    if not edges:
+        raise ValueError("cannot profile an empty hypergraph")
+
+    # Index hyperedges by node so only intersecting pairs are touched.
+    by_node: Dict[int, List[int]] = {}
+    for index, edge in enumerate(edges):
+        for node in edge:
+            by_node.setdefault(node, []).append(index)
+
+    seen_pairs = set()
+    nested = 0
+    equalish = 0
+    jaccards: List[float] = []
+    intersections: List[float] = []
+    for indices in by_node.values():
+        for i, a in enumerate(indices):
+            for b in indices[i + 1 :]:
+                key = (a, b) if a < b else (b, a)
+                if key in seen_pairs:
+                    continue
+                seen_pairs.add(key)
+                first, second = edges[key[0]], edges[key[1]]
+                shared = len(first & second)
+                union = len(first | second)
+                jaccard = shared / union
+                jaccards.append(jaccard)
+                intersections.append(float(shared))
+                if first <= second or second <= first:
+                    nested += 1
+                if jaccard >= 0.5:
+                    equalish += 1
+
+    n_pairs = len(seen_pairs)
+    sizes = [len(edge) for edge in edges]
+    return {
+        "frac_nested": nested / n_pairs if n_pairs else 0.0,
+        "frac_equalish": equalish / n_pairs if n_pairs else 0.0,
+        "mean_jaccard": float(np.mean(jaccards)) if jaccards else 0.0,
+        "mean_intersection": (
+            float(np.mean(intersections)) if intersections else 0.0
+        ),
+        "intersecting_rate": n_pairs / len(edges),
+        "mean_size": float(np.mean(sizes)),
+        "frac_pairs": sum(1 for s in sizes if s == 2) / len(sizes),
+    }
+
+
+def profile_distance(a: Dict[str, float], b: Dict[str, float]) -> float:
+    """Scale-normalized L2 distance between two overlap profiles.
+
+    Each key is normalized by the larger magnitude of the pair so that
+    unbounded terms (mean intersection, intersecting rate) do not drown
+    the bounded fractions.
+    """
+    total = 0.0
+    for key in PROFILE_KEYS:
+        if key not in a or key not in b:
+            raise KeyError(f"profiles must both contain {key!r}")
+        scale = max(abs(a[key]), abs(b[key]), 1e-12)
+        total += ((a[key] - b[key]) / scale) ** 2
+    return float(np.sqrt(total / len(PROFILE_KEYS)))

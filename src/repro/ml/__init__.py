@@ -1,0 +1,32 @@
+"""Small NumPy neural-network and evaluation stack.
+
+The paper's classifier is "a simple MLP" and its link-prediction harness
+uses a two-layer GCN; this subpackage implements both from scratch on
+NumPy (dense layers, ReLU, sigmoid/softmax, Adam) plus the evaluation
+metrics the experiments report (AUC, micro/macro F1, NMI) and spectral
+(Laplacian) embeddings for graphs and hypergraphs.
+"""
+
+from repro.ml.gcn import GCNLinkEmbedder
+from repro.ml.metrics import (
+    accuracy_score,
+    f1_scores,
+    normalized_mutual_information,
+    roc_auc_score,
+)
+from repro.ml.mlp import MLPClassifier
+from repro.ml.spectral import (
+    graph_spectral_embedding,
+    hypergraph_spectral_embedding,
+)
+
+__all__ = [
+    "MLPClassifier",
+    "GCNLinkEmbedder",
+    "roc_auc_score",
+    "f1_scores",
+    "accuracy_score",
+    "normalized_mutual_information",
+    "graph_spectral_embedding",
+    "hypergraph_spectral_embedding",
+]

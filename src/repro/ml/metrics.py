@@ -1,0 +1,117 @@
+"""Evaluation metrics used across the paper's experiments.
+
+AUC for link prediction (Table IX), micro/macro F1 for node classification
+(Table VIII), and normalized mutual information for clustering (Table VII).
+Implemented from scratch on NumPy so the repository has no sklearn
+dependency.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def roc_auc_score(labels: Sequence[int], scores: Sequence[float]) -> float:
+    """Area under the ROC curve via the Mann-Whitney U statistic.
+
+    Tied scores receive the average rank, matching the standard
+    definition.  Raises ``ValueError`` when only one class is present.
+    """
+    y = np.asarray(labels)
+    s = np.asarray(scores, dtype=np.float64)
+    if len(y) != len(s):
+        raise ValueError(f"{len(y)} labels but {len(s)} scores")
+    n_pos = int((y == 1).sum())
+    n_neg = int(len(y) - n_pos)
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("AUC needs both positive and negative samples")
+    order = np.argsort(s, kind="mergesort")
+    ranks = np.empty(len(s), dtype=np.float64)
+    sorted_scores = s[order]
+    i = 0
+    while i < len(s):
+        j = i
+        while j + 1 < len(s) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    rank_sum_pos = float(ranks[y == 1].sum())
+    u = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return u / (n_pos * n_neg)
+
+
+def accuracy_score(labels: Sequence[int], predictions: Sequence[int]) -> float:
+    y = np.asarray(labels)
+    p = np.asarray(predictions)
+    if len(y) != len(p):
+        raise ValueError(f"{len(y)} labels but {len(p)} predictions")
+    if len(y) == 0:
+        raise ValueError("cannot score an empty prediction set")
+    return float((y == p).mean())
+
+
+def f1_scores(labels: Sequence[int], predictions: Sequence[int]) -> Tuple[float, float]:
+    """Return ``(micro_f1, macro_f1)``.
+
+    Micro-F1 aggregates TP/FP/FN over classes (equal to accuracy in the
+    single-label setting); macro-F1 averages per-class F1.
+    """
+    y = np.asarray(labels)
+    p = np.asarray(predictions)
+    if len(y) != len(p):
+        raise ValueError(f"{len(y)} labels but {len(p)} predictions")
+    if len(y) == 0:
+        raise ValueError("cannot score an empty prediction set")
+    classes = np.unique(np.concatenate([y, p]))
+    tp_total = fp_total = fn_total = 0
+    per_class_f1 = []
+    for c in classes:
+        tp = int(((y == c) & (p == c)).sum())
+        fp = int(((y != c) & (p == c)).sum())
+        fn = int(((y == c) & (p != c)).sum())
+        tp_total += tp
+        fp_total += fp
+        fn_total += fn
+        denominator = 2 * tp + fp + fn
+        per_class_f1.append(2 * tp / denominator if denominator else 0.0)
+    micro_denominator = 2 * tp_total + fp_total + fn_total
+    micro = 2 * tp_total / micro_denominator if micro_denominator else 0.0
+    macro = float(np.mean(per_class_f1))
+    return micro, macro
+
+
+def normalized_mutual_information(
+    labels_a: Sequence[int], labels_b: Sequence[int]
+) -> float:
+    """NMI with arithmetic-mean normalization.
+
+    ``NMI(A, B) = 2 I(A; B) / (H(A) + H(B))``; returns 1.0 when both
+    partitions are identical constants (zero entropy on both sides).
+    """
+    a = np.asarray(labels_a)
+    b = np.asarray(labels_b)
+    if len(a) != len(b):
+        raise ValueError(f"{len(a)} vs {len(b)} labels")
+    n = len(a)
+    if n == 0:
+        raise ValueError("cannot compute NMI of empty labelings")
+
+    count_a = Counter(a.tolist())
+    count_b = Counter(b.tolist())
+    joint = Counter(zip(a.tolist(), b.tolist()))
+
+    h_a = -sum((c / n) * np.log(c / n) for c in count_a.values())
+    h_b = -sum((c / n) * np.log(c / n) for c in count_b.values())
+    if h_a == 0.0 and h_b == 0.0:
+        return 1.0
+    if h_a == 0.0 or h_b == 0.0:
+        return 0.0
+
+    mutual = 0.0
+    for (ca, cb), c in joint.items():
+        p_joint = c / n
+        mutual += p_joint * np.log(p_joint * n * n / (count_a[ca] * count_b[cb]))
+    return float(2.0 * mutual / (h_a + h_b))

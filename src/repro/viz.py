@@ -1,0 +1,99 @@
+"""Terminal-friendly ASCII charts for benchmark figures.
+
+No plotting dependency exists offline, so the figure benchmarks render
+their series as ASCII art: horizontal bar charts for method comparisons
+and scatter/line plots on log or linear axes for sweeps.  Output is
+deterministic, making the rendered figures diff-able artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+def bar_chart(
+    values: Dict[str, float],
+    title: str = "",
+    width: int = 50,
+    fmt: str = "{:.3f}",
+) -> str:
+    """Horizontal bar chart of label -> value (non-negative)."""
+    lines = [title] if title else []
+    if not values:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    top = max(values.values())
+    label_width = max(len(label) for label in values)
+    for label, value in values.items():
+        if value < 0:
+            raise ValueError(f"bar_chart values must be >= 0, got {value}")
+        bar = "#" * (int(round(width * value / top)) if top > 0 else 0)
+        lines.append(
+            f"{label:<{label_width}} | {bar:<{width}} {fmt.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def line_plot(
+    points: Sequence[Tuple[float, float]],
+    title: str = "",
+    height: int = 12,
+    width: int = 60,
+    logx: bool = False,
+    logy: bool = False,
+) -> str:
+    """Scatter plot of (x, y) points on a character grid.
+
+    ``logx`` / ``logy`` switch the respective axis to log scale (all
+    coordinates on that axis must then be positive).
+    """
+    if not points:
+        return f"{title}\n(no data)" if title else "(no data)"
+    xs = np.asarray([p[0] for p in points], dtype=float)
+    ys = np.asarray([p[1] for p in points], dtype=float)
+    if logx:
+        if (xs <= 0).any():
+            raise ValueError("logx requires positive x values")
+        xs = np.log10(xs)
+    if logy:
+        if (ys <= 0).any():
+            raise ValueError("logy requires positive y values")
+        ys = np.log10(ys)
+
+    def scale(values: np.ndarray, extent: int) -> np.ndarray:
+        low, high = values.min(), values.max()
+        if high == low:
+            return np.full(len(values), extent // 2, dtype=int)
+        return ((values - low) / (high - low) * (extent - 1)).round().astype(int)
+
+    columns = scale(xs, width)
+    rows = scale(ys, height)
+    grid = [[" "] * width for _ in range(height)]
+    for column, row in zip(columns, rows):
+        grid[height - 1 - row][column] = "*"
+
+    lines = [title] if title else []
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    x_label = "log10(x)" if logx else "x"
+    y_label = "log10(y)" if logy else "y"
+    lines.append(
+        f"  {x_label}: [{xs.min():.2f}, {xs.max():.2f}]   "
+        f"{y_label}: [{ys.min():.2f}, {ys.max():.2f}]"
+    )
+    return "\n".join(lines)
+
+
+def series_table(
+    series: Dict[str, List[Tuple[float, float]]],
+    title: str = "",
+    fmt: str = "{:.3f}",
+) -> str:
+    """Aligned table of named (x, y) series sharing an x grid."""
+    lines = [title] if title else []
+    for name, points in series.items():
+        rendered = "  ".join(f"{x:g}:{fmt.format(y)}" for x, y in points)
+        lines.append(f"  {name:<14} {rendered}")
+    return "\n".join(lines)

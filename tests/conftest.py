@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hypergraph.graph import WeightedGraph
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.projection import project
+
+
+@pytest.fixture
+def triangle_graph() -> WeightedGraph:
+    """A single unweighted triangle on nodes 0, 1, 2."""
+    graph = WeightedGraph()
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 2)
+    graph.add_edge(0, 2)
+    return graph
+
+
+@pytest.fixture
+def small_hypergraph() -> Hypergraph:
+    """Five hyperedges over 7 nodes incl. one duplicated hyperedge."""
+    hypergraph = Hypergraph()
+    hypergraph.add([0, 1, 2])
+    hypergraph.add([2, 3])
+    hypergraph.add([3, 4, 5])
+    hypergraph.add([3, 4, 5])  # multiplicity 2
+    hypergraph.add([5, 6])
+    return hypergraph
+
+
+@pytest.fixture
+def paper_figure3_graph() -> WeightedGraph:
+    """A graph mimicking the style of Fig. 3: overlapping cliques.
+
+    Contains the triangle {5, 6, 7}, the 4-clique {2, 3, 5, 6}, and the
+    path-ish region {6, 10, 11} where only {6, 11} is a hyperedge.
+    """
+    hypergraph = Hypergraph()
+    hypergraph.add([5, 6, 7])
+    hypergraph.add([2, 3, 5, 6])
+    hypergraph.add([6, 11])
+    hypergraph.add([1, 2, 3])
+    hypergraph.add([8, 9])
+    hypergraph.add([6, 10])
+    hypergraph.add([10, 11])
+    return project(hypergraph)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def random_hypergraph(
+    seed: int, n_nodes: int = 25, n_edges: int = 40, max_size: int = 5
+) -> Hypergraph:
+    """Helper used by several test modules (not a fixture by design)."""
+    generator = np.random.default_rng(seed)
+    hypergraph = Hypergraph(nodes=range(n_nodes))
+    for _ in range(n_edges):
+        size = int(generator.integers(2, max_size + 1))
+        members = generator.choice(n_nodes, size=size, replace=False)
+        hypergraph.add(int(m) for m in members)
+    return hypergraph

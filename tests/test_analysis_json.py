@@ -1,0 +1,187 @@
+"""Tests for hypergraph analysis utilities and JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.hypergraph.analysis import (
+    connected_components,
+    degree_core,
+    dual_hypergraph,
+    is_connected,
+    line_graph,
+    node_neighbors,
+)
+from repro.hypergraph.graph import WeightedGraph
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.json_io import (
+    graph_from_dict,
+    graph_to_dict,
+    hypergraph_from_dict,
+    hypergraph_to_dict,
+    read_graph_json,
+    read_hypergraph_json,
+    write_graph_json,
+    write_hypergraph_json,
+)
+from tests.conftest import random_hypergraph
+
+
+class TestNodeNeighbors:
+    def test_basic(self, small_hypergraph):
+        assert node_neighbors(small_hypergraph, 3) == {2, 4, 5}
+
+    def test_isolated_node(self):
+        hypergraph = Hypergraph(edges=[[0, 1]], nodes=[9])
+        assert node_neighbors(hypergraph, 9) == set()
+
+
+class TestConnectedComponents:
+    def test_single_component(self, small_hypergraph):
+        components = connected_components(small_hypergraph)
+        assert len(components) == 1
+        assert components[0] == frozenset(range(7))
+        assert is_connected(small_hypergraph)
+
+    def test_two_components_plus_isolate(self):
+        hypergraph = Hypergraph(edges=[[0, 1, 2], [5, 6]], nodes=[9])
+        components = connected_components(hypergraph)
+        assert components == [
+            frozenset({0, 1, 2}),
+            frozenset({5, 6}),
+            frozenset({9}),
+        ]
+        assert not is_connected(hypergraph)
+
+    def test_empty(self):
+        assert connected_components(Hypergraph()) == []
+
+
+class TestLineGraph:
+    def test_intersection_weights(self):
+        hypergraph = Hypergraph(edges=[[0, 1, 2], [1, 2, 3], [5, 6]])
+        lg = line_graph(hypergraph)
+        # sorted edges: [0,1,2]=0, [1,2,3]=1, [5,6]=2
+        assert lg.weight(0, 1) == 2  # share {1, 2}
+        assert lg.weight(0, 2) == 0
+        assert lg.num_nodes == 3
+
+    def test_disjoint_edges_give_empty_line_graph(self):
+        hypergraph = Hypergraph(edges=[[0, 1], [2, 3]])
+        assert line_graph(hypergraph).num_edges == 0
+
+
+class TestDual:
+    def test_dual_of_star(self):
+        # Node 0 sits in all three hyperedges -> one dual hyperedge {0,1,2}.
+        hypergraph = Hypergraph(edges=[[0, 1], [0, 2], [0, 3]])
+        dual = dual_hypergraph(hypergraph)
+        assert set(dual.edges()) == {frozenset({0, 1, 2})}
+
+    def test_low_degree_nodes_dropped(self):
+        hypergraph = Hypergraph(edges=[[0, 1], [2, 3]])
+        dual = dual_hypergraph(hypergraph)
+        assert dual.num_unique_edges == 0
+        assert dual.nodes == frozenset({0, 1})  # one dual node per edge
+
+
+class TestDegreeCore:
+    def test_core_of_recurring_group(self):
+        hypergraph = Hypergraph()
+        hypergraph.add([0, 1, 2])
+        hypergraph.add([0, 1, 3])
+        hypergraph.add([0, 1, 4])
+        hypergraph.add([8, 9])
+        core = degree_core(hypergraph, k=2)
+        # Nodes 2, 3, 4 have degree 1; removing them kills all triangles.
+        # 8, 9 have degree 1 as well -> empty 2-core.
+        assert core.num_unique_edges == 0
+
+    def test_k1_keeps_everything(self, small_hypergraph):
+        core = degree_core(small_hypergraph, k=1)
+        assert set(core.edges()) == set(small_hypergraph.edges())
+
+    def test_dense_core_survives(self):
+        hypergraph = Hypergraph()
+        for a in range(3):
+            for b in range(a + 1, 3):
+                hypergraph.add([a, b])  # triangle of pairs: degrees 2
+        hypergraph.add([5, 6])
+        core = degree_core(hypergraph, k=2)
+        assert set(core.edges()) == {
+            frozenset({0, 1}),
+            frozenset({0, 2}),
+            frozenset({1, 2}),
+        }
+
+    def test_invalid_k(self, small_hypergraph):
+        with pytest.raises(ValueError):
+            degree_core(small_hypergraph, k=0)
+
+    def test_multiplicity_preserved(self):
+        hypergraph = Hypergraph()
+        hypergraph.add([0, 1], multiplicity=3)
+        hypergraph.add([0, 2])
+        hypergraph.add([1, 2])
+        core = degree_core(hypergraph, k=2)
+        assert core.multiplicity([0, 1]) == 3
+
+
+class TestJsonSerialization:
+    def test_hypergraph_round_trip(self, tmp_path, small_hypergraph):
+        path = tmp_path / "hg.json"
+        write_hypergraph_json(small_hypergraph, path)
+        assert read_hypergraph_json(path) == small_hypergraph
+
+    def test_hypergraph_round_trip_random(self, tmp_path):
+        hypergraph = random_hypergraph(seed=0)
+        path = tmp_path / "hg.json"
+        write_hypergraph_json(hypergraph, path)
+        assert read_hypergraph_json(path) == hypergraph
+
+    def test_graph_round_trip(self, tmp_path, triangle_graph):
+        triangle_graph.add_edge(0, 1, 4)
+        path = tmp_path / "g.json"
+        write_graph_json(triangle_graph, path)
+        assert read_graph_json(path) == triangle_graph
+
+    def test_dict_is_json_serializable_and_sorted(self, small_hypergraph):
+        payload = hypergraph_to_dict(small_hypergraph)
+        text = json.dumps(payload)
+        assert "repro-hypergraph" in text
+        edges = payload["edges"]
+        assert edges == sorted(edges, key=lambda e: e["nodes"])
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            hypergraph_from_dict({"format": "nope", "version": 1})
+        with pytest.raises(ValueError, match="format"):
+            graph_from_dict({"format": "nope", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            hypergraph_from_dict({"format": "repro-hypergraph", "version": 99})
+
+    def test_isolated_nodes_survive(self, tmp_path):
+        hypergraph = Hypergraph(edges=[[0, 1]], nodes=[42])
+        path = tmp_path / "hg.json"
+        write_hypergraph_json(hypergraph, path)
+        assert 42 in read_hypergraph_json(path).nodes
+
+    def test_default_multiplicity_and_weight(self):
+        hypergraph = hypergraph_from_dict(
+            {
+                "format": "repro-hypergraph",
+                "version": 1,
+                "edges": [{"nodes": [0, 1]}],
+            }
+        )
+        assert hypergraph.multiplicity([0, 1]) == 1
+        graph = graph_from_dict(
+            {
+                "format": "repro-graph",
+                "version": 1,
+                "edges": [{"u": 0, "v": 1}],
+            }
+        )
+        assert graph.weight(0, 1) == 1

@@ -1,0 +1,89 @@
+"""Property-based tests (hypothesis) for the baseline reconstructors.
+
+Each baseline has structural contracts independent of accuracy: outputs
+are cliques of the input, covers cover, multiplicity-consuming methods
+consume exactly.  These hold on *any* projected graph.
+"""
+
+from itertools import combinations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bayesian_mdl import BayesianMDL
+from repro.baselines.clique_cover import CliqueCovering
+from repro.baselines.demon import Demon
+from repro.baselines.maxclique import MaxClique
+from repro.baselines.shyre_unsup import ShyreUnsup
+from repro.hypergraph.cliques import is_clique, is_maximal_clique
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.projection import project
+from tests.test_properties import hypergraphs
+
+
+class TestMaxCliqueProperties:
+    @given(hypergraphs())
+    @settings(max_examples=25, deadline=None)
+    def test_outputs_are_maximal_cliques(self, hypergraph):
+        graph = project(hypergraph)
+        reconstruction = MaxClique().reconstruct(graph)
+        for edge in reconstruction:
+            assert is_maximal_clique(graph, edge)
+
+    @given(hypergraphs())
+    @settings(max_examples=25, deadline=None)
+    def test_covers_every_edge(self, hypergraph):
+        graph = project(hypergraph)
+        reconstruction = MaxClique().reconstruct(graph)
+        for u, v in graph.edges():
+            assert any(u in e and v in e for e in reconstruction)
+
+
+class TestCliqueCoveringProperties:
+    @given(hypergraphs())
+    @settings(max_examples=25, deadline=None)
+    def test_exact_edge_cover(self, hypergraph):
+        graph = project(hypergraph)
+        reconstruction = CliqueCovering().reconstruct(graph)
+        covered = set()
+        for edge in reconstruction:
+            assert is_clique(graph, edge)
+            for pair in combinations(sorted(edge), 2):
+                covered.add(pair)
+        expected = {(min(u, v), max(u, v)) for u, v in graph.edges()}
+        assert covered == expected
+
+
+class TestBayesianMDLProperties:
+    @given(hypergraphs(max_nodes=9, max_edges=10))
+    @settings(max_examples=10, deadline=None)
+    def test_cover_invariant_after_mcmc(self, hypergraph):
+        graph = project(hypergraph)
+        reconstruction = BayesianMDL(seed=0, n_iterations=150).reconstruct(graph)
+        covered = set()
+        for edge in reconstruction:
+            assert is_clique(graph, edge)
+            for pair in combinations(sorted(edge), 2):
+                covered.add(pair)
+        for u, v in graph.edges():
+            assert (min(u, v), max(u, v)) in covered
+
+
+class TestShyreUnsupProperties:
+    @given(hypergraphs(max_nodes=10, max_edges=12))
+    @settings(max_examples=15, deadline=None)
+    def test_consumes_projection_exactly(self, hypergraph):
+        graph = project(hypergraph)
+        reconstruction = ShyreUnsup().reconstruct(graph)
+        assert project(reconstruction) == graph
+
+
+class TestDemonProperties:
+    @given(hypergraphs(max_nodes=10, max_edges=12))
+    @settings(max_examples=15, deadline=None)
+    def test_communities_within_node_universe(self, hypergraph):
+        graph = project(hypergraph)
+        reconstruction = Demon(seed=0).reconstruct(graph)
+        for edge in reconstruction:
+            assert edge <= graph.nodes
+            assert len(edge) >= 2

@@ -1,0 +1,63 @@
+"""Unit tests for the clique-decomposition baselines."""
+
+from itertools import combinations
+
+from repro.baselines.clique_cover import CliqueCovering
+from repro.baselines.maxclique import MaxClique
+from repro.hypergraph.cliques import is_clique
+from repro.hypergraph.graph import WeightedGraph
+from repro.hypergraph.projection import project
+from repro.metrics.jaccard import jaccard_similarity
+from tests.conftest import random_hypergraph
+
+
+class TestMaxClique:
+    def test_triangle(self, triangle_graph):
+        reconstruction = MaxClique().reconstruct(triangle_graph)
+        assert set(reconstruction.edges()) == {frozenset({0, 1, 2})}
+
+    def test_every_output_is_a_maximal_clique(self, paper_figure3_graph):
+        reconstruction = MaxClique().reconstruct(paper_figure3_graph)
+        for edge in reconstruction:
+            assert is_clique(paper_figure3_graph, edge)
+
+    def test_disjoint_hyperedges_recovered_exactly(self):
+        hypergraph = random_hypergraph(seed=0, n_nodes=40, n_edges=8)
+        # With 8 edges on 40 nodes, most hyperedges are disjoint cliques.
+        graph = project(hypergraph)
+        reconstruction = MaxClique().reconstruct(graph)
+        assert jaccard_similarity(hypergraph, reconstruction) > 0.5
+
+    def test_preserves_node_universe(self, paper_figure3_graph):
+        reconstruction = MaxClique().reconstruct(paper_figure3_graph)
+        assert reconstruction.nodes == paper_figure3_graph.nodes
+
+
+class TestCliqueCovering:
+    def test_covers_every_edge(self, paper_figure3_graph):
+        reconstruction = CliqueCovering().reconstruct(paper_figure3_graph)
+        covered = set()
+        for edge in reconstruction:
+            for pair in combinations(sorted(edge), 2):
+                covered.add(pair)
+        for u, v in paper_figure3_graph.edges():
+            assert (min(u, v), max(u, v)) in covered
+
+    def test_outputs_are_cliques(self, paper_figure3_graph):
+        reconstruction = CliqueCovering().reconstruct(paper_figure3_graph)
+        for edge in reconstruction:
+            assert is_clique(paper_figure3_graph, edge)
+
+    def test_triangle_covered_by_single_clique(self, triangle_graph):
+        reconstruction = CliqueCovering().reconstruct(triangle_graph)
+        assert set(reconstruction.edges()) == {frozenset({0, 1, 2})}
+
+    def test_deterministic(self, paper_figure3_graph):
+        a = CliqueCovering().reconstruct(paper_figure3_graph)
+        b = CliqueCovering().reconstruct(paper_figure3_graph)
+        assert a == b
+
+    def test_empty_graph(self):
+        graph = WeightedGraph(nodes=[0, 1])
+        reconstruction = CliqueCovering().reconstruct(graph)
+        assert reconstruction.num_unique_edges == 0

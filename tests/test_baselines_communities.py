@@ -1,0 +1,93 @@
+"""Unit tests for the community-detection baselines (CFinder, Demon)."""
+
+import pytest
+
+from repro.baselines.cfinder import CFinder
+from repro.baselines.demon import Demon
+from repro.hypergraph.graph import WeightedGraph
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.projection import project
+
+
+def two_communities_graph():
+    """Two 4-cliques joined by a single bridge edge."""
+    graph = WeightedGraph()
+    from itertools import combinations
+
+    for u, v in combinations(range(4), 2):
+        graph.add_edge(u, v)
+    for u, v in combinations(range(4, 8), 2):
+        graph.add_edge(u, v)
+    graph.add_edge(3, 4)
+    return graph
+
+
+class TestCFinder:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            CFinder(k=1)
+
+    def test_separates_communities(self):
+        graph = two_communities_graph()
+        reconstruction = CFinder(k=3).reconstruct(graph)
+        edges = set(reconstruction.edges())
+        assert frozenset(range(4)) in edges
+        assert frozenset(range(4, 8)) in edges
+        # The bridge edge percolates no 3-clique, so no merged community.
+        assert frozenset(range(8)) not in edges
+
+    def test_k4_percolation_merges_overlapping_cliques(self):
+        # Two triangles sharing an edge percolate at k=3 into one community.
+        graph = WeightedGraph()
+        for u, v in [(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)]:
+            graph.add_edge(u, v)
+        reconstruction = CFinder(k=3).reconstruct(graph)
+        assert frozenset({0, 1, 2, 3}) in set(reconstruction.edges())
+
+    def test_fit_picks_k_from_source_sizes(self):
+        source = Hypergraph()
+        for i in range(0, 40, 4):
+            source.add(range(i, i + 4))
+        method = CFinder()
+        method.fit(source)
+        assert method.k == 4
+
+    def test_graph_below_k_produces_nothing(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1)
+        reconstruction = CFinder(k=3).reconstruct(graph)
+        assert reconstruction.num_unique_edges == 0
+
+
+class TestDemon:
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            Demon(epsilon=2.0)
+
+    def test_finds_communities(self):
+        graph = two_communities_graph()
+        reconstruction = Demon(seed=0).reconstruct(graph)
+        assert reconstruction.num_unique_edges >= 1
+        # Some community should capture (most of) one 4-clique.
+        assert any(len(edge) >= 3 for edge in reconstruction)
+
+    def test_min_community_size_respected(self):
+        graph = two_communities_graph()
+        reconstruction = Demon(seed=0, min_community_size=3).reconstruct(graph)
+        assert all(len(edge) >= 3 for edge in reconstruction)
+
+    def test_deterministic_with_seed(self):
+        graph = two_communities_graph()
+        a = Demon(seed=7).reconstruct(graph)
+        b = Demon(seed=7).reconstruct(graph)
+        assert a == b
+
+    def test_empty_graph(self):
+        graph = WeightedGraph(nodes=[1, 2, 3])
+        reconstruction = Demon(seed=0).reconstruct(graph)
+        assert reconstruction.num_unique_edges == 0
+
+    def test_on_projected_hypergraph(self, small_hypergraph):
+        graph = project(small_hypergraph)
+        reconstruction = Demon(seed=0).reconstruct(graph)
+        assert reconstruction.nodes == graph.nodes

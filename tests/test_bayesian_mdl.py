@@ -1,0 +1,87 @@
+"""Unit tests for the Bayesian-MDL baseline."""
+
+from itertools import combinations
+
+from repro.baselines.bayesian_mdl import BayesianMDL, description_length
+from repro.hypergraph.cliques import is_clique
+from repro.hypergraph.graph import WeightedGraph
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.projection import project
+from repro.metrics.jaccard import jaccard_similarity
+
+
+class TestDescriptionLength:
+    def test_fewer_cliques_cost_less(self):
+        big = [frozenset({0, 1, 2, 3})]
+        small = [
+            frozenset({0, 1}),
+            frozenset({0, 2}),
+            frozenset({0, 3}),
+            frozenset({1, 2}),
+            frozenset({1, 3}),
+            frozenset({2, 3}),
+        ]
+        assert description_length(big, 10) < description_length(small, 10)
+
+    def test_empty_cover_is_free(self):
+        assert description_length([], 10) == 0.0
+
+    def test_scales_with_node_count_bits(self):
+        cover = [frozenset({0, 1, 2})]
+        assert description_length(cover, 4) < description_length(cover, 1024)
+
+
+class TestBayesianMDL:
+    def test_cover_property(self, paper_figure3_graph):
+        """Output must cover every projected edge with valid cliques."""
+        reconstruction = BayesianMDL(seed=0, n_iterations=300).reconstruct(
+            paper_figure3_graph
+        )
+        covered = set()
+        for edge in reconstruction:
+            assert is_clique(paper_figure3_graph, edge)
+            for pair in combinations(sorted(edge), 2):
+                covered.add(pair)
+        for u, v in paper_figure3_graph.edges():
+            assert (min(u, v), max(u, v)) in covered
+
+    def test_prefers_single_clique_for_triangle(self, triangle_graph):
+        reconstruction = BayesianMDL(seed=0, n_iterations=200).reconstruct(
+            triangle_graph
+        )
+        assert set(reconstruction.edges()) == {frozenset({0, 1, 2})}
+
+    def test_mcmc_does_not_hurt_greedy_start(self):
+        """MDL of the final cover must be <= the greedy initial cover."""
+        hypergraph = Hypergraph(edges=[[0, 1, 2, 3], [3, 4, 5], [5, 6]])
+        graph = project(hypergraph)
+        from repro.baselines.clique_cover import CliqueCovering
+
+        greedy = CliqueCovering().reconstruct(graph)
+        mdl = BayesianMDL(seed=0, n_iterations=500).reconstruct(graph)
+        n = graph.num_nodes
+        assert description_length(
+            list(mdl.edges()), n
+        ) <= description_length(list(greedy.edges()), n)
+
+    def test_parsimony_recovers_disjoint_hyperedges(self):
+        hypergraph = Hypergraph(edges=[[0, 1, 2], [3, 4, 5, 6], [7, 8]])
+        graph = project(hypergraph)
+        reconstruction = BayesianMDL(seed=0, n_iterations=300).reconstruct(graph)
+        assert jaccard_similarity(hypergraph, reconstruction) == 1.0
+
+    def test_zero_iterations_equals_greedy_start(self, paper_figure3_graph):
+        reconstruction = BayesianMDL(seed=0, n_iterations=0).reconstruct(
+            paper_figure3_graph
+        )
+        assert reconstruction.num_unique_edges > 0
+
+    def test_deterministic_with_seed(self, paper_figure3_graph):
+        a = BayesianMDL(seed=1, n_iterations=200).reconstruct(paper_figure3_graph)
+        b = BayesianMDL(seed=1, n_iterations=200).reconstruct(paper_figure3_graph)
+        assert a == b
+
+    def test_empty_graph(self):
+        graph = WeightedGraph(nodes=[0])
+        reconstruction = BayesianMDL(seed=0).reconstruct(graph)
+        assert reconstruction.num_unique_edges == 0

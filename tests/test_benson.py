@@ -1,0 +1,131 @@
+"""Unit tests for the Benson simplicial-format loader."""
+
+import pytest
+
+from repro.datasets.benson import load_benson_dataset, write_benson_dataset
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.split import split_source_target
+from tests.conftest import random_hypergraph
+
+
+def write_files(directory, name, nverts, simplices, times=None):
+    (directory / f"{name}-nverts.txt").write_text(
+        "".join(f"{n}\n" for n in nverts)
+    )
+    (directory / f"{name}-simplices.txt").write_text(
+        "".join(f"{v}\n" for v in simplices)
+    )
+    if times is not None:
+        (directory / f"{name}-times.txt").write_text(
+            "".join(f"{t}\n" for t in times)
+        )
+
+
+class TestLoad:
+    def test_basic_parse(self, tmp_path):
+        write_files(
+            tmp_path, "toy",
+            nverts=[3, 2],
+            simplices=[1, 2, 3, 4, 5],
+            times=[100, 200],
+        )
+        hypergraph, timestamps = load_benson_dataset(tmp_path, name="toy")
+        assert set(hypergraph.edges()) == {
+            frozenset({1, 2, 3}),
+            frozenset({4, 5}),
+        }
+        assert timestamps[frozenset({1, 2, 3})] == 100
+
+    def test_name_defaults_to_directory(self, tmp_path):
+        directory = tmp_path / "email-Enron"
+        directory.mkdir()
+        write_files(directory, "email-Enron", nverts=[2], simplices=[0, 1])
+        hypergraph, _ = load_benson_dataset(directory)
+        assert hypergraph.num_unique_edges == 1
+
+    def test_repeats_accumulate_multiplicity(self, tmp_path):
+        write_files(
+            tmp_path, "toy",
+            nverts=[2, 2, 2],
+            simplices=[0, 1, 0, 1, 2, 3],
+            times=[5, 9, 7],
+        )
+        hypergraph, timestamps = load_benson_dataset(tmp_path, name="toy")
+        assert hypergraph.multiplicity([0, 1]) == 2
+        # Earliest appearance wins.
+        assert timestamps[frozenset({0, 1})] == 5
+
+    def test_degenerate_simplices_skipped(self, tmp_path):
+        write_files(
+            tmp_path, "toy",
+            nverts=[1, 2, 2],
+            simplices=[7, 0, 1, 3, 3],
+            times=[1, 2, 3],
+        )
+        hypergraph, _ = load_benson_dataset(tmp_path, name="toy")
+        # The singleton and the self-pair {3, 3} are both skipped.
+        assert set(hypergraph.edges()) == {frozenset({0, 1})}
+
+    def test_missing_times_uses_indices(self, tmp_path):
+        write_files(tmp_path, "toy", nverts=[2, 2], simplices=[0, 1, 2, 3])
+        _, timestamps = load_benson_dataset(tmp_path, name="toy")
+        assert timestamps[frozenset({0, 1})] == 0
+        assert timestamps[frozenset({2, 3})] == 1
+
+    def test_inconsistent_counts_rejected(self, tmp_path):
+        write_files(tmp_path, "toy", nverts=[3], simplices=[0, 1])
+        with pytest.raises(ValueError, match="inconsistent"):
+            load_benson_dataset(tmp_path, name="toy")
+
+    def test_timestamp_count_mismatch_rejected(self, tmp_path):
+        write_files(
+            tmp_path, "toy", nverts=[2], simplices=[0, 1], times=[1, 2]
+        )
+        with pytest.raises(ValueError, match="timestamps"):
+            load_benson_dataset(tmp_path, name="toy")
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_benson_dataset(tmp_path / "nope")
+
+    def test_missing_files(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_benson_dataset(tmp_path, name="toy")
+
+    def test_all_degenerate_rejected(self, tmp_path):
+        write_files(tmp_path, "toy", nverts=[1], simplices=[0])
+        with pytest.raises(ValueError, match="size >= 2"):
+            load_benson_dataset(tmp_path, name="toy")
+
+    def test_bad_integer_rejected(self, tmp_path):
+        (tmp_path / "toy-nverts.txt").write_text("x\n")
+        (tmp_path / "toy-simplices.txt").write_text("0\n")
+        with pytest.raises(ValueError):
+            load_benson_dataset(tmp_path, name="toy")
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        hypergraph = random_hypergraph(seed=0, n_nodes=15, n_edges=25)
+        write_benson_dataset(hypergraph, tmp_path, "rt")
+        loaded, _ = load_benson_dataset(tmp_path, name="rt")
+        assert loaded == Hypergraph(
+            edges=hypergraph.iter_multiset(), nodes=None
+        ) or set(loaded.edges()) == set(hypergraph.edges())
+        # Multiset equality: multiplicities survive the round trip.
+        for edge, multiplicity in hypergraph.items():
+            assert loaded.multiplicity(edge) == multiplicity
+
+    def test_timestamps_survive_and_split_by_time(self, tmp_path):
+        hypergraph = Hypergraph(edges=[[0, 1], [1, 2], [2, 3], [3, 4]])
+        stamps = {
+            frozenset({0, 1}): 10,
+            frozenset({1, 2}): 20,
+            frozenset({2, 3}): 30,
+            frozenset({3, 4}): 40,
+        }
+        write_benson_dataset(hypergraph, tmp_path, "tt", timestamps=stamps)
+        loaded, loaded_stamps = load_benson_dataset(tmp_path, name="tt")
+        source, target = split_source_target(loaded, timestamps=loaded_stamps)
+        assert frozenset({0, 1}) in source
+        assert frozenset({3, 4}) in target

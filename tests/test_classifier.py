@@ -1,0 +1,109 @@
+"""Unit tests for the clique classifier and negative sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import CliqueClassifier, sample_negative_cliques
+from repro.core.features import StructuralFeaturizer
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.projection import project
+from tests.conftest import random_hypergraph
+
+
+class TestNegativeSampling:
+    def test_negatives_are_never_hyperedges(self):
+        hypergraph = random_hypergraph(seed=0)
+        graph = project(hypergraph)
+        rng = np.random.default_rng(0)
+        negatives = sample_negative_cliques(graph, hypergraph, 40, rng)
+        for clique in negatives:
+            assert clique not in hypergraph
+
+    def test_negatives_are_unique(self):
+        hypergraph = random_hypergraph(seed=1)
+        graph = project(hypergraph)
+        rng = np.random.default_rng(0)
+        negatives = sample_negative_cliques(graph, hypergraph, 60, rng)
+        assert len(negatives) == len(set(negatives))
+
+    def test_respects_target_cap(self):
+        hypergraph = random_hypergraph(seed=2)
+        graph = project(hypergraph)
+        rng = np.random.default_rng(0)
+        negatives = sample_negative_cliques(graph, hypergraph, 5, rng)
+        assert len(negatives) <= 5
+
+
+class TestCliqueClassifier:
+    @pytest.fixture
+    def fitted(self):
+        hypergraph = random_hypergraph(seed=4, n_nodes=20, n_edges=40)
+        graph = project(hypergraph)
+        classifier = CliqueClassifier(seed=0, max_epochs=40)
+        classifier.fit(graph, hypergraph)
+        return classifier, graph, hypergraph
+
+    def test_build_training_set_shapes(self):
+        hypergraph = random_hypergraph(seed=3)
+        graph = project(hypergraph)
+        classifier = CliqueClassifier(seed=0, negative_ratio=1.5)
+        features, labels = classifier.build_training_set(graph, hypergraph)
+        assert features.shape[0] == len(labels)
+        assert features.shape[1] == classifier.featurizer.n_features
+        assert set(np.unique(labels)) <= {0, 1}
+        assert labels.sum() == hypergraph.num_unique_edges
+
+    def test_scores_in_unit_interval(self, fitted):
+        classifier, graph, hypergraph = fitted
+        cliques = list(hypergraph.edges())[:10]
+        scores = classifier.score(cliques, graph)
+        assert scores.shape == (len(cliques),)
+        assert np.all(scores > 0.0) and np.all(scores < 1.0)
+
+    def test_scoring_empty_list(self, fitted):
+        classifier, graph, _ = fitted
+        assert classifier.score([], graph).shape == (0,)
+
+    def test_unfitted_scoring_raises(self, triangle_graph):
+        classifier = CliqueClassifier(seed=0)
+        with pytest.raises(RuntimeError):
+            classifier.score([frozenset({0, 1})], triangle_graph)
+
+    def test_learns_to_separate_hyperedges(self):
+        """On a structured hypergraph, hyperedges should outscore noise."""
+        hypergraph = Hypergraph()
+        rng = np.random.default_rng(0)
+        # Planted triangles: tight groups of 3, each emitted twice.
+        for base in range(0, 30, 3):
+            hypergraph.add([base, base + 1, base + 2])
+            hypergraph.add([base, base + 1, base + 2])
+        # Noise pairs across groups.
+        for _ in range(15):
+            u, v = rng.choice(30, size=2, replace=False)
+            hypergraph.add([int(u), int(v)])
+        graph = project(hypergraph)
+        classifier = CliqueClassifier(seed=0, max_epochs=80)
+        classifier.fit(graph, hypergraph)
+
+        triangles = [frozenset({0, 1, 2}), frozenset({3, 4, 5})]
+        triangle_scores = classifier.score(triangles, graph)
+        assert triangle_scores.mean() > 0.5
+
+    def test_negative_ratio_validation(self):
+        with pytest.raises(ValueError):
+            CliqueClassifier(negative_ratio=0.0)
+
+    def test_empty_source_raises(self, triangle_graph):
+        classifier = CliqueClassifier(seed=0)
+        with pytest.raises(ValueError):
+            classifier.fit(triangle_graph, Hypergraph())
+
+    def test_structural_featurizer_plugs_in(self):
+        hypergraph = random_hypergraph(seed=6, n_nodes=15, n_edges=25)
+        graph = project(hypergraph)
+        classifier = CliqueClassifier(
+            featurizer=StructuralFeaturizer(), seed=0, max_epochs=30
+        )
+        classifier.fit(graph, hypergraph)
+        scores = classifier.score(list(hypergraph.edges())[:5], graph)
+        assert len(scores) == 5

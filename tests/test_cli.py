@@ -1,0 +1,114 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.io import read_hypergraph, write_hypergraph
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reconstruct", "--dataset", "nope"])
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reconstruct", "--method", "nope"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["reconstruct"])
+        assert args.dataset == "crime"
+        assert args.method == "MARIOH"
+        assert args.seed == 0
+
+
+class TestCommands:
+    def test_datasets_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("crime", "dblp", "pschool"):
+            assert name in out
+
+    def test_reconstruct_prints_scores(self, capsys):
+        assert main(["reconstruct", "--dataset", "crime"]) == 0
+        out = capsys.readouterr().out
+        assert "Jaccard" in out
+        assert "multi-Jaccard" in out
+
+    def test_reconstruct_writes_output(self, capsys, tmp_path):
+        output = tmp_path / "recon.txt"
+        assert (
+            main(
+                [
+                    "reconstruct",
+                    "--dataset",
+                    "directors",
+                    "--output",
+                    str(output),
+                ]
+            )
+            == 0
+        )
+        reconstruction = read_hypergraph(output)
+        assert reconstruction.num_unique_edges > 0
+
+    def test_reconstruct_from_file(self, capsys, tmp_path):
+        hypergraph = Hypergraph()
+        for base in range(0, 24, 3):
+            hypergraph.add([base, base + 1, base + 2])
+            hypergraph.add([base, base + 1, base + 2])
+        path = tmp_path / "input.txt"
+        write_hypergraph(hypergraph, path)
+        assert main(["reconstruct", "--input", str(path)]) == 0
+        assert "Jaccard" in capsys.readouterr().out
+
+    def test_evaluate_prints_table(self, capsys):
+        assert (
+            main(
+                [
+                    "evaluate",
+                    "--dataset",
+                    "directors",
+                    "--methods",
+                    "MaxClique",
+                    "MARIOH",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "MaxClique" in out
+        assert "MARIOH" in out
+
+    def test_evaluate_preserved_setting(self, capsys):
+        assert (
+            main(
+                [
+                    "evaluate",
+                    "--dataset",
+                    "directors",
+                    "--methods",
+                    "MARIOH",
+                    "--preserve-multiplicity",
+                ]
+            )
+            == 0
+        )
+        assert "multi-Jaccard" in capsys.readouterr().out
+
+    def test_storage_on_dataset(self, capsys):
+        assert main(["storage", "--dataset", "crime"]) == 0
+        out = capsys.readouterr().out
+        assert "savings ratio" in out
+
+    def test_storage_on_file(self, capsys, tmp_path):
+        hypergraph = Hypergraph(edges=[list(range(8))])
+        path = tmp_path / "big.txt"
+        write_hypergraph(hypergraph, path)
+        assert main(["storage", "--input", str(path)]) == 0
+        assert "compression factor" in capsys.readouterr().out

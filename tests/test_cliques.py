@@ -1,0 +1,131 @@
+"""Unit tests for maximal-clique enumeration."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.hypergraph.cliques import (
+    cliques_containing_edge,
+    is_clique,
+    is_maximal_clique,
+    maximal_cliques,
+    maximal_cliques_list,
+)
+from repro.hypergraph.graph import WeightedGraph
+
+
+def brute_force_maximal_cliques(graph):
+    """Reference implementation by subset enumeration (small graphs only)."""
+    nodes = sorted(graph.nodes)
+    cliques = []
+    for size in range(2, len(nodes) + 1):
+        for combo in combinations(nodes, size):
+            if is_clique(graph, combo):
+                cliques.append(frozenset(combo))
+    return {
+        c
+        for c in cliques
+        if not any(c < other for other in cliques)
+    }
+
+
+class TestIsClique:
+    def test_triangle(self, triangle_graph):
+        assert is_clique(triangle_graph, [0, 1, 2])
+
+    def test_missing_edge(self, triangle_graph):
+        triangle_graph.add_edge(2, 3)
+        assert not is_clique(triangle_graph, [0, 1, 3])
+
+    def test_single_edge_is_clique(self, triangle_graph):
+        assert is_clique(triangle_graph, [0, 1])
+
+    def test_duplicate_nodes_collapse(self, triangle_graph):
+        assert is_clique(triangle_graph, [0, 1, 1, 0])
+
+
+class TestMaximalCliques:
+    def test_triangle_is_single_maximal(self, triangle_graph):
+        assert list(maximal_cliques(triangle_graph)) == [frozenset({0, 1, 2})]
+
+    def test_isolated_edge(self):
+        graph = WeightedGraph()
+        graph.add_edge(5, 9)
+        assert list(maximal_cliques(graph)) == [frozenset({5, 9})]
+
+    def test_empty_graph_yields_nothing(self):
+        graph = WeightedGraph(nodes=[1, 2, 3])
+        assert list(maximal_cliques(graph)) == []
+
+    def test_two_triangles_sharing_node(self):
+        graph = WeightedGraph()
+        for u, v in [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]:
+            graph.add_edge(u, v)
+        found = set(maximal_cliques(graph))
+        assert found == {frozenset({0, 1, 2}), frozenset({2, 3, 4})}
+
+    def test_k4_with_pendant(self):
+        graph = WeightedGraph()
+        for u, v in combinations(range(4), 2):
+            graph.add_edge(u, v)
+        graph.add_edge(3, 4)
+        found = set(maximal_cliques(graph))
+        assert found == {frozenset({0, 1, 2, 3}), frozenset({3, 4})}
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_matches_brute_force_on_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        graph = WeightedGraph()
+        n = 10
+        for u, v in combinations(range(n), 2):
+            if rng.random() < 0.35:
+                graph.add_edge(u, v)
+        assert set(maximal_cliques(graph)) == brute_force_maximal_cliques(graph)
+
+    def test_list_variant_is_sorted_and_deterministic(self, paper_figure3_graph):
+        first = maximal_cliques_list(paper_figure3_graph)
+        second = maximal_cliques_list(paper_figure3_graph)
+        assert first == second
+        sizes = [len(c) for c in first]
+        assert sizes == sorted(sizes)
+
+    def test_no_clique_is_subset_of_another(self, paper_figure3_graph):
+        cliques = maximal_cliques_list(paper_figure3_graph)
+        for a in cliques:
+            for b in cliques:
+                assert not (a < b)
+
+    def test_every_edge_covered_by_some_maximal_clique(self, paper_figure3_graph):
+        cliques = maximal_cliques_list(paper_figure3_graph)
+        for u, v in paper_figure3_graph.edges():
+            assert any(u in c and v in c for c in cliques)
+
+
+class TestIsMaximalClique:
+    def test_maximal(self, triangle_graph):
+        assert is_maximal_clique(triangle_graph, [0, 1, 2])
+
+    def test_subclique_is_not_maximal(self, triangle_graph):
+        assert not is_maximal_clique(triangle_graph, [0, 1])
+
+    def test_non_clique_is_not_maximal(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        assert not is_maximal_clique(graph, [0, 1, 2])
+
+
+class TestCliquesContainingEdge:
+    def test_edge_without_common_neighbors(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1)
+        assert list(cliques_containing_edge(graph, 0, 1)) == [frozenset({0, 1})]
+
+    def test_edge_in_triangle(self, triangle_graph):
+        found = set(cliques_containing_edge(triangle_graph, 0, 1))
+        assert found == {frozenset({0, 1, 2})}
+
+    def test_missing_edge_yields_nothing(self, triangle_graph):
+        triangle_graph.remove_edge(0, 1)
+        assert list(cliques_containing_edge(triangle_graph, 0, 1)) == []

@@ -1,0 +1,160 @@
+"""Unit tests for the downstream-task harnesses (Tables VII-IX)."""
+
+import numpy as np
+import pytest
+
+from repro.downstream.classification import node_classification_f1
+from repro.downstream.clustering import kmeans, spectral_clustering_nmi
+from repro.downstream.features import (
+    GRAPH_FEATURE_NAMES,
+    HYPERGRAPH_FEATURE_NAMES,
+    graph_pair_features,
+    hypergraph_pair_features,
+)
+from repro.downstream.linkpred import _sample_non_edges, link_prediction_auc
+from repro.hypergraph.graph import WeightedGraph
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.projection import project
+
+
+def community_hypergraph(n_communities=4, nodes_per_community=8, seed=0):
+    """Hyperedges strictly inside communities: clustering is easy."""
+    rng = np.random.default_rng(seed)
+    hypergraph = Hypergraph()
+    labels = {}
+    for c in range(n_communities):
+        members = list(
+            range(c * nodes_per_community, (c + 1) * nodes_per_community)
+        )
+        for node in members:
+            labels[node] = c
+        for _ in range(nodes_per_community * 3):
+            k = int(rng.integers(2, 5))
+            chosen = rng.choice(members, size=k, replace=False)
+            hypergraph.add(int(m) for m in chosen)
+    return hypergraph, labels
+
+
+class TestKMeans:
+    def test_separates_two_blobs(self):
+        rng = np.random.default_rng(0)
+        points = np.vstack(
+            [rng.normal(-3, 0.3, (20, 2)), rng.normal(3, 0.3, (20, 2))]
+        )
+        labels = kmeans(points, 2, seed=0)
+        assert len(set(labels[:20])) == 1
+        assert len(set(labels[20:])) == 1
+        assert labels[0] != labels[-1]
+
+    def test_k_capped_at_n(self):
+        points = np.zeros((3, 2))
+        labels = kmeans(points, 10, seed=0)
+        assert len(labels) == 3
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((3, 2)), 0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((0, 2)), 2)
+
+
+class TestSpectralClustering:
+    def test_hypergraph_clustering_recovers_communities(self):
+        hypergraph, labels = community_hypergraph()
+        nmi = spectral_clustering_nmi(hypergraph, labels, seed=0)
+        assert nmi > 0.8
+
+    def test_graph_clustering_runs(self):
+        hypergraph, labels = community_hypergraph()
+        graph = project(hypergraph)
+        nmi = spectral_clustering_nmi(graph, labels, seed=0)
+        assert 0.0 <= nmi <= 1.0
+
+    def test_no_labeled_nodes_raises(self, triangle_graph):
+        with pytest.raises(ValueError):
+            spectral_clustering_nmi(triangle_graph, {99: 0}, seed=0)
+
+
+class TestNodeClassification:
+    def test_f1_on_community_data(self):
+        hypergraph, labels = community_hypergraph()
+        micro, macro = node_classification_f1(hypergraph, labels, seed=0)
+        assert micro > 0.6
+        assert 0.0 <= macro <= 1.0
+
+    def test_graph_input_supported(self):
+        hypergraph, labels = community_hypergraph()
+        micro, macro = node_classification_f1(project(hypergraph), labels, seed=0)
+        assert 0.0 <= micro <= 1.0
+
+    def test_invalid_train_fraction(self):
+        hypergraph, labels = community_hypergraph()
+        with pytest.raises(ValueError):
+            node_classification_f1(hypergraph, labels, train_fraction=1.5)
+
+    def test_too_few_labels_raise(self, triangle_graph):
+        with pytest.raises(ValueError):
+            node_classification_f1(triangle_graph, {0: 0, 1: 1}, seed=0)
+
+
+class TestPairFeatures:
+    def test_graph_feature_dimension(self, triangle_graph):
+        features = graph_pair_features(triangle_graph, [(0, 1), (0, 2)])
+        assert features.shape == (2, len(GRAPH_FEATURE_NAMES))
+
+    def test_edge_weight_feature(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1, 7)
+        features = graph_pair_features(graph, [(0, 1)])
+        assert features[0, -1] == 7.0
+
+    def test_jaccard_feature(self, triangle_graph):
+        features = graph_pair_features(triangle_graph, [(0, 1)])
+        # neighbors(0)={1,2}, neighbors(1)={0,2} -> 1/3.
+        assert features[0, 0] == pytest.approx(1 / 3)
+
+    def test_hypergraph_feature_dimension(self, small_hypergraph):
+        graph = project(small_hypergraph)
+        features = hypergraph_pair_features(graph, small_hypergraph, [(3, 4)])
+        assert features.shape == (1, len(HYPERGRAPH_FEATURE_NAMES))
+
+    def test_hyperedge_jaccard(self, small_hypergraph):
+        graph = project(small_hypergraph)
+        features = hypergraph_pair_features(graph, small_hypergraph, [(3, 4)])
+        # HE(3) = {{2,3},{3,4,5}}, HE(4) = {{3,4,5}} -> 1/2.
+        assert features[0, 8] == pytest.approx(0.5)
+
+
+class TestLinkPrediction:
+    def test_non_edge_sampler(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        graph.add_node(4)
+        rng = np.random.default_rng(0)
+        non_edges = _sample_non_edges(graph, 4, rng)
+        assert len(non_edges) == 4
+        for u, v in non_edges:
+            assert not graph.has_edge(u, v)
+
+    def test_auc_on_community_graph(self):
+        hypergraph, _ = community_hypergraph(n_communities=3)
+        graph = project(hypergraph)
+        auc = link_prediction_auc(graph, seed=0, use_gcn=False)
+        assert auc > 0.7
+
+    def test_hypergraph_setting_runs(self):
+        hypergraph, _ = community_hypergraph(n_communities=3)
+        graph = project(hypergraph)
+        auc = link_prediction_auc(graph, hypergraph, seed=0, use_gcn=False)
+        assert 0.0 <= auc <= 1.0
+
+    def test_invalid_test_fraction(self, triangle_graph):
+        with pytest.raises(ValueError):
+            link_prediction_auc(triangle_graph, test_fraction=0.0)
+
+    def test_too_few_edges_raise(self, triangle_graph):
+        with pytest.raises(ValueError):
+            link_prediction_auc(triangle_graph, seed=0)

@@ -1,0 +1,99 @@
+"""Tests for exact candidate-space enumeration (Fig. 1 machinery)."""
+
+import pytest
+
+from repro.core.enumeration import (
+    count_consistent_hypergraphs,
+    count_without_multiplicity,
+    enumerate_consistent_hypergraphs,
+)
+from repro.hypergraph.graph import WeightedGraph
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.projection import project
+
+
+def triangle(weight=1):
+    graph = WeightedGraph()
+    for u, v in [(0, 1), (1, 2), (0, 2)]:
+        graph.add_edge(u, v, weight)
+    return graph
+
+
+class TestEnumeration:
+    def test_single_edge(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1)
+        results = enumerate_consistent_hypergraphs(graph)
+        assert len(results) == 1
+        assert results[0].multiplicity([0, 1]) == 1
+
+    def test_unit_triangle_has_two_interpretations(self):
+        """Weights 1-1-1: either one size-3 hyperedge or three pairs."""
+        results = enumerate_consistent_hypergraphs(triangle(1))
+        as_sets = [set(h.edges()) for h in results]
+        assert {frozenset({0, 1, 2})} in as_sets
+        assert {
+            frozenset({0, 1}),
+            frozenset({1, 2}),
+            frozenset({0, 2}),
+        } in as_sets
+        assert len(results) == 2
+
+    def test_every_result_projects_back_exactly(self):
+        graph = triangle(2)
+        graph.add_edge(2, 3)
+        for hypergraph in enumerate_consistent_hypergraphs(graph):
+            assert project(hypergraph) == graph
+
+    def test_results_are_distinct(self):
+        results = enumerate_consistent_hypergraphs(triangle(2))
+        signatures = [tuple(sorted((tuple(sorted(e)), m) for e, m in h.items()))
+                      for h in results]
+        assert len(signatures) == len(set(signatures))
+
+    def test_higher_multiplicity_grows_candidate_space(self):
+        """Fig. 1's top vs middle rows: more weight, more candidates -
+        but still finite and enumerable."""
+        count_1 = count_consistent_hypergraphs(triangle(1))
+        count_2 = count_consistent_hypergraphs(triangle(2))
+        count_3 = count_consistent_hypergraphs(triangle(3))
+        assert count_1 < count_2 < count_3
+
+    def test_empty_graph_has_exactly_one_interpretation(self):
+        graph = WeightedGraph(nodes=[0, 1])
+        results = enumerate_consistent_hypergraphs(graph)
+        assert len(results) == 1
+        assert results[0].num_unique_edges == 0
+
+    def test_max_results_caps(self):
+        results = enumerate_consistent_hypergraphs(triangle(3), max_results=2)
+        assert len(results) == 2
+
+    def test_large_graph_rejected(self):
+        hypergraph = Hypergraph(edges=[list(range(13))])
+        with pytest.raises(ValueError):
+            enumerate_consistent_hypergraphs(project(hypergraph))
+
+
+class TestUnknownMultiplicity:
+    def test_explodes_with_budget(self):
+        """Fig. 1's bottom row: without multiplicities, the candidate
+        count grows without bound as the weight budget grows."""
+        graph = triangle(1)
+        counts = [
+            count_without_multiplicity(graph, max_total_weight=budget)
+            for budget in (3, 4, 6)
+        ]
+        assert counts[0] < counts[1] < counts[2]
+
+    def test_known_multiplicity_is_a_single_budget_slice(self):
+        """The weighted count is strictly smaller than the unknown-
+        multiplicity count at any budget >= the true total weight."""
+        graph = triangle(1)
+        known = count_consistent_hypergraphs(graph)
+        unknown = count_without_multiplicity(graph, max_total_weight=5)
+        assert known < unknown
+
+    def test_edgeless_graph(self):
+        graph = WeightedGraph(nodes=[0])
+        assert count_without_multiplicity(graph, max_total_weight=3) == 1

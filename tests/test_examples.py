@@ -1,0 +1,41 @@
+"""Smoke tests: the example scripts must run end to end.
+
+Only the fast examples run here (the full set is exercised manually /
+by the benchmark suite); each is executed in-process via runpy so
+coverage and import errors surface normally.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "custom_data.py",
+    "coauthorship_case_study.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} is missing"
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_all_examples_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+    assert len(scripts) >= 5, "expected at least five examples"
+    for script in scripts:
+        source = script.read_text(encoding="utf-8")
+        assert source.lstrip().startswith('"""'), (
+            f"{script.name} lacks a module docstring"
+        )
+        assert "def main" in source, f"{script.name} lacks a main()"

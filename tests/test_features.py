@@ -1,0 +1,128 @@
+"""Unit tests for the clique featurizers (Sect. III-D)."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import CliqueFeaturizer, StructuralFeaturizer, _five_stats
+from repro.hypergraph.graph import WeightedGraph
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.projection import project
+
+
+class TestFiveStats:
+    def test_order_is_sum_mean_min_max_std(self):
+        stats = _five_stats([1.0, 2.0, 3.0])
+        assert stats[0] == 6.0
+        assert stats[1] == 2.0
+        assert stats[2] == 1.0
+        assert stats[3] == 3.0
+        assert stats[4] == pytest.approx(np.std([1, 2, 3]))
+
+    def test_single_value(self):
+        assert _five_stats([4.0]) == [4.0, 4.0, 4.0, 4.0, 0.0]
+
+
+class TestCliqueFeaturizer:
+    def test_dimension(self, triangle_graph):
+        featurizer = CliqueFeaturizer()
+        vector = featurizer.featurize([0, 1, 2], triangle_graph)
+        assert vector.shape == (featurizer.n_features,)
+        assert featurizer.n_features == 23
+
+    def test_clique_size_feature(self, triangle_graph):
+        vector = CliqueFeaturizer().featurize([0, 1, 2], triangle_graph)
+        assert vector[20] == 3.0  # clique size slot
+
+    def test_maximality_flag(self, triangle_graph):
+        featurizer = CliqueFeaturizer()
+        maximal = featurizer.featurize([0, 1, 2], triangle_graph)
+        sub = featurizer.featurize([0, 1], triangle_graph)
+        assert maximal[22] == 1.0
+        assert sub[22] == 0.0
+
+    def test_maximality_uses_reference_graph(self, triangle_graph):
+        featurizer = CliqueFeaturizer()
+        shrunk = triangle_graph.copy()
+        shrunk.remove_edge(1, 2)
+        # {0, 1} is maximal in the shrunk graph but not in the original.
+        flag_self = featurizer.featurize([0, 1], shrunk)[22]
+        flag_ref = featurizer.featurize(
+            [0, 1], shrunk, reference_graph=triangle_graph
+        )[22]
+        assert flag_self == 1.0
+        assert flag_ref == 0.0
+
+    def test_cut_ratio_is_one_for_isolated_clique(self, triangle_graph):
+        vector = CliqueFeaturizer().featurize([0, 1, 2], triangle_graph)
+        assert vector[21] == pytest.approx(1.0)
+
+    def test_cut_ratio_decreases_with_external_edges(self, triangle_graph):
+        dangling = triangle_graph.copy()
+        dangling.add_edge(0, 5, 10)
+        isolated = CliqueFeaturizer().featurize([0, 1, 2], triangle_graph)[21]
+        connected = CliqueFeaturizer().featurize([0, 1, 2], dangling)[21]
+        assert connected < isolated
+
+    def test_multiplicity_feature_reflects_weights(self):
+        hypergraph = Hypergraph()
+        hypergraph.add([0, 1, 2])
+        hypergraph.add([0, 1])
+        graph = project(hypergraph)
+        vector = CliqueFeaturizer().featurize([0, 1, 2], graph)
+        # edge multiplicity stats occupy slots 5..9 (sum, mean, min, max, std)
+        assert vector[5] == 4.0  # total edge weight: 2 + 1 + 1
+        assert vector[8] == 2.0  # max edge weight on (0, 1)
+
+    def test_rejects_single_node(self, triangle_graph):
+        with pytest.raises(ValueError):
+            CliqueFeaturizer().featurize([0], triangle_graph)
+
+    def test_featurize_many_shape_and_consistency(self, triangle_graph):
+        featurizer = CliqueFeaturizer()
+        cliques = [frozenset({0, 1}), frozenset({0, 1, 2})]
+        matrix = featurizer.featurize_many(cliques, triangle_graph)
+        assert matrix.shape == (2, 23)
+        np.testing.assert_array_equal(
+            matrix[0], featurizer.featurize(cliques[0], triangle_graph)
+        )
+
+    def test_featurize_many_empty(self, triangle_graph):
+        matrix = CliqueFeaturizer().featurize_many([], triangle_graph)
+        assert matrix.shape == (0, 23)
+
+
+class TestStructuralFeaturizer:
+    def test_dimension(self, triangle_graph):
+        featurizer = StructuralFeaturizer()
+        vector = featurizer.featurize([0, 1, 2], triangle_graph)
+        assert vector.shape == (featurizer.n_features,)
+        assert featurizer.n_features == 13
+
+    def test_ignores_edge_weights(self):
+        light = WeightedGraph()
+        heavy = WeightedGraph()
+        for u, v in [(0, 1), (1, 2), (0, 2)]:
+            light.add_edge(u, v, 1)
+            heavy.add_edge(u, v, 50)
+        featurizer = StructuralFeaturizer()
+        np.testing.assert_array_equal(
+            featurizer.featurize([0, 1, 2], light),
+            featurizer.featurize([0, 1, 2], heavy),
+        )
+
+    def test_neighborhood_overlap_feature(self):
+        graph = WeightedGraph()
+        for u, v in [(0, 1), (1, 2), (0, 2)]:
+            graph.add_edge(u, v)
+        vector = StructuralFeaturizer().featurize([0, 1], graph)
+        # neighbors(0)={1,2}, neighbors(1)={0,2}: Jaccard = |{2}|/|{0,1,2}|.
+        # The 2-clique has a single pair, so the sum slot equals 1/3.
+        assert vector[5] == pytest.approx(1 / 3)
+
+    def test_boundary_ratio(self):
+        graph = WeightedGraph()
+        for u, v in [(0, 1), (1, 2), (0, 2), (2, 3)]:
+            graph.add_edge(u, v)
+        vector = StructuralFeaturizer().featurize([0, 1, 2], graph)
+        # boundary of {0,1,2} is {3}: ratio 3 / (3 + 1)
+        assert vector[11] == pytest.approx(0.75)

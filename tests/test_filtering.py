@@ -1,0 +1,123 @@
+"""Unit tests for MHH and theoretically-guaranteed filtering (Alg. 2)."""
+
+from repro.core.filtering import filter_guaranteed_pairs, mhh, residual_multiplicity
+from repro.hypergraph.graph import WeightedGraph
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.projection import project
+from tests.conftest import random_hypergraph
+
+
+class TestMHH:
+    def test_no_common_neighbors_gives_zero(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1, 5)
+        assert mhh(graph, 0, 1) == 0
+
+    def test_single_triangle(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1, 2)
+        graph.add_edge(0, 2, 1)
+        graph.add_edge(1, 2, 3)
+        # common neighbor of (0, 1) is 2: min(w_02, w_12) = min(1, 3) = 1
+        assert mhh(graph, 0, 1) == 1
+
+    def test_sums_over_common_neighbors(self):
+        graph = WeightedGraph()
+        for z, (wu, wv) in {2: (1, 4), 3: (2, 2), 4: (5, 1)}.items():
+            graph.add_edge(0, z, wu)
+            graph.add_edge(1, z, wv)
+        graph.add_edge(0, 1, 10)
+        assert mhh(graph, 0, 1) == 1 + 2 + 1
+
+    def test_symmetric(self):
+        hypergraph = random_hypergraph(seed=11)
+        graph = project(hypergraph)
+        for u, v in graph.edges():
+            assert mhh(graph, u, v) == mhh(graph, v, u)
+
+
+class TestLemma1:
+    """MHH upper-bounds the true number of higher-order hyperedges."""
+
+    def test_on_random_hypergraphs(self):
+        for seed in range(5):
+            hypergraph = random_hypergraph(seed=seed)
+            graph = project(hypergraph)
+            for u, v in graph.edges():
+                true_higher = sum(
+                    multiplicity
+                    for edge, multiplicity in hypergraph.items()
+                    if u in edge and v in edge and len(edge) >= 3
+                )
+                assert mhh(graph, u, v) >= true_higher
+
+
+class TestLemma2:
+    """Positive residual lower-bounds true size-2 hyperedge multiplicity."""
+
+    def test_on_random_hypergraphs(self):
+        for seed in range(5):
+            hypergraph = random_hypergraph(seed=seed)
+            graph = project(hypergraph)
+            for u, v in graph.edges():
+                residual = residual_multiplicity(graph, u, v)
+                if residual > 0:
+                    assert hypergraph.multiplicity([u, v]) >= residual
+
+
+class TestFilterGuaranteedPairs:
+    def test_pure_pair_edge_is_extracted(self):
+        hypergraph = Hypergraph()
+        hypergraph.add([0, 1], multiplicity=3)
+        graph = project(hypergraph)
+        reconstruction = Hypergraph(nodes=graph.nodes)
+        intermediate, reconstruction = filter_guaranteed_pairs(graph, reconstruction)
+        assert reconstruction.multiplicity([0, 1]) == 3
+        assert intermediate.is_empty()
+
+    def test_triangle_edge_is_not_extracted(self):
+        hypergraph = Hypergraph(edges=[[0, 1, 2]])
+        graph = project(hypergraph)
+        reconstruction = Hypergraph(nodes=graph.nodes)
+        intermediate, reconstruction = filter_guaranteed_pairs(graph, reconstruction)
+        assert reconstruction.num_unique_edges == 0
+        assert intermediate.num_edges == 3
+
+    def test_mixed_case(self):
+        hypergraph = Hypergraph()
+        hypergraph.add([0, 1, 2])  # contributes 1 to each triangle pair
+        hypergraph.add([0, 1], multiplicity=2)  # pair-only weight on (0,1)
+        graph = project(hypergraph)
+        reconstruction = Hypergraph(nodes=graph.nodes)
+        intermediate, reconstruction = filter_guaranteed_pairs(graph, reconstruction)
+        # w_01 = 3, MHH(0,1) = min(w_02, w_12) = 1 -> residual = 2.
+        assert reconstruction.multiplicity([0, 1]) == 2
+        assert intermediate.weight(0, 1) == 1
+
+    def test_input_graph_is_not_mutated(self):
+        hypergraph = Hypergraph()
+        hypergraph.add([0, 1], multiplicity=2)
+        graph = project(hypergraph)
+        before = graph.copy()
+        filter_guaranteed_pairs(graph, Hypergraph(nodes=graph.nodes))
+        assert graph == before
+
+    def test_never_extracts_false_positives(self):
+        """Everything the filter extracts must be a true size-2 hyperedge."""
+        for seed in range(8):
+            hypergraph = random_hypergraph(seed=seed, n_nodes=15, n_edges=30)
+            graph = project(hypergraph)
+            reconstruction = Hypergraph(nodes=graph.nodes)
+            _, reconstruction = filter_guaranteed_pairs(graph, reconstruction)
+            for edge, multiplicity in reconstruction.items():
+                assert len(edge) == 2
+                assert hypergraph.multiplicity(edge) >= multiplicity
+
+    def test_weight_conservation(self):
+        """Filtered weight + remaining weight must equal input weight."""
+        hypergraph = random_hypergraph(seed=21)
+        graph = project(hypergraph)
+        reconstruction = Hypergraph(nodes=graph.nodes)
+        intermediate, reconstruction = filter_guaranteed_pairs(graph, reconstruction)
+        filtered_weight = sum(m for _, m in reconstruction.items())
+        assert filtered_weight + intermediate.total_weight() == graph.total_weight()

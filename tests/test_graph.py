@@ -1,0 +1,149 @@
+"""Unit tests for the WeightedGraph substrate."""
+
+import pytest
+
+from repro.hypergraph.graph import WeightedGraph
+
+
+class TestMutation:
+    def test_add_edge_creates_nodes(self):
+        graph = WeightedGraph()
+        graph.add_edge(1, 2, 3)
+        assert graph.nodes == frozenset({1, 2})
+        assert graph.weight(1, 2) == 3
+
+    def test_add_edge_accumulates(self):
+        graph = WeightedGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 1, 4)
+        assert graph.weight(1, 2) == 5
+
+    def test_rejects_self_loop(self):
+        graph = WeightedGraph()
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 1)
+
+    def test_rejects_nonpositive_weight_increment(self):
+        graph = WeightedGraph()
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 2, 0)
+
+    def test_set_weight_overwrites(self):
+        graph = WeightedGraph()
+        graph.add_edge(1, 2, 5)
+        graph.set_weight(1, 2, 2)
+        assert graph.weight(1, 2) == 2
+
+    def test_set_weight_zero_removes(self):
+        graph = WeightedGraph()
+        graph.add_edge(1, 2)
+        graph.set_weight(1, 2, 0)
+        assert not graph.has_edge(1, 2)
+
+    def test_decrement_edge(self):
+        graph = WeightedGraph()
+        graph.add_edge(1, 2, 3)
+        remaining = graph.decrement_edge(1, 2)
+        assert remaining == 2
+        assert graph.weight(1, 2) == 2
+
+    def test_decrement_to_zero_removes_edge(self):
+        graph = WeightedGraph()
+        graph.add_edge(1, 2)
+        graph.decrement_edge(1, 2)
+        assert not graph.has_edge(1, 2)
+        assert graph.weight(1, 2) == 0
+
+    def test_decrement_missing_edge_raises(self):
+        graph = WeightedGraph()
+        with pytest.raises(KeyError):
+            graph.decrement_edge(1, 2)
+
+    def test_over_decrement_raises(self):
+        graph = WeightedGraph()
+        graph.add_edge(1, 2, 2)
+        with pytest.raises(ValueError):
+            graph.decrement_edge(1, 2, 3)
+
+    def test_remove_edge_is_idempotent(self):
+        graph = WeightedGraph()
+        graph.add_edge(1, 2)
+        graph.remove_edge(1, 2)
+        graph.remove_edge(1, 2)
+        assert graph.num_edges == 0
+
+
+class TestInspection:
+    def test_counts(self, triangle_graph):
+        assert triangle_graph.num_nodes == 3
+        assert triangle_graph.num_edges == 3
+
+    def test_degree_vs_weighted_degree(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1, 5)
+        graph.add_edge(0, 2, 1)
+        assert graph.degree(0) == 2
+        assert graph.weighted_degree(0) == 6
+
+    def test_edges_yields_each_once(self, triangle_graph):
+        assert sorted(triangle_graph.edges()) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_edges_with_weights(self):
+        graph = WeightedGraph()
+        graph.add_edge(2, 1, 7)
+        assert list(graph.edges_with_weights()) == [(1, 2, 7)]
+
+    def test_total_weight(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1, 2)
+        graph.add_edge(1, 2, 3)
+        assert graph.total_weight() == 5
+
+    def test_common_neighbors(self, triangle_graph):
+        assert triangle_graph.common_neighbors(0, 1) == {2}
+        triangle_graph.add_edge(0, 3)
+        triangle_graph.add_edge(1, 3)
+        assert triangle_graph.common_neighbors(0, 1) == {2, 3}
+
+    def test_is_empty(self):
+        graph = WeightedGraph(nodes=[1, 2])
+        assert graph.is_empty()
+        graph.add_edge(1, 2)
+        assert not graph.is_empty()
+        graph.decrement_edge(1, 2)
+        assert graph.is_empty()
+
+    def test_neighbor_weights_view(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1, 4)
+        assert graph.neighbor_weights(0) == {1: 4}
+        assert graph.neighbor_weights(42) == {}
+
+
+class TestSubgraphCopy:
+    def test_subgraph_preserves_weights(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1, 2)
+        graph.add_edge(1, 2, 3)
+        graph.add_edge(2, 3, 4)
+        sub = graph.subgraph([0, 1, 2])
+        assert sub.weight(0, 1) == 2
+        assert sub.weight(1, 2) == 3
+        assert not sub.has_edge(2, 3)
+        assert sub.nodes == frozenset({0, 1, 2})
+
+    def test_subgraph_of_unknown_nodes_is_empty(self, triangle_graph):
+        sub = triangle_graph.subgraph([10, 11])
+        assert sub.num_nodes == 0
+
+    def test_copy_is_deep_for_adjacency(self, triangle_graph):
+        clone = triangle_graph.copy()
+        clone.decrement_edge(0, 1)
+        assert triangle_graph.weight(0, 1) == 1
+        assert clone.weight(0, 1) == 0
+
+    def test_equality(self, triangle_graph):
+        assert triangle_graph == triangle_graph.copy()
+        other = triangle_graph.copy()
+        other.add_edge(0, 1)
+        assert triangle_graph != other

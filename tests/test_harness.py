@@ -1,0 +1,77 @@
+"""Unit tests for the experiment harness."""
+
+import pytest
+
+from repro.datasets import load
+from repro.experiments import (
+    accuracy_table,
+    format_table,
+    make_method,
+    method_registry,
+    run_method,
+)
+from repro.experiments.harness import MULTIPLICITY_CAPABLE
+
+
+class TestMakeMethod:
+    def test_all_registry_methods_instantiate(self):
+        for name in method_registry():
+            method = make_method(name, seed=0)
+            assert method is not None
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(KeyError):
+            make_method("NotAMethod")
+
+    def test_marioh_variants_mapped(self):
+        assert make_method("MARIOH-M").variant == "no_multiplicity"
+        assert make_method("MARIOH-F").variant == "no_filtering"
+        assert make_method("MARIOH-B").variant == "no_bidirectional"
+        assert make_method("MARIOH").variant == "full"
+
+    def test_multiplicity_capable_subset_of_registry(self):
+        assert set(MULTIPLICITY_CAPABLE) <= set(method_registry())
+
+
+class TestRunMethod:
+    @pytest.fixture(scope="class")
+    def bundle(self):
+        return load("crime", seed=0)
+
+    def test_result_fields(self, bundle):
+        result = run_method("MaxClique", bundle, seed=0)
+        assert result.method == "MaxClique"
+        assert result.dataset == "crime"
+        assert 0.0 <= result.jaccard <= 1.0
+        assert 0.0 <= result.multi_jaccard <= 1.0
+        assert result.runtime_seconds >= 0.0
+        assert result.reconstruction.num_unique_edges > 0
+
+    def test_marioh_beats_or_ties_maxclique_on_crime(self, bundle):
+        baseline = run_method("MaxClique", bundle, seed=0)
+        marioh = run_method("MARIOH", bundle, seed=0)
+        assert marioh.jaccard >= baseline.jaccard
+
+    def test_preserved_setting_uses_full_target(self, bundle):
+        result = run_method("SHyRe-Unsup", bundle, preserve_multiplicity=True)
+        assert 0.0 <= result.multi_jaccard <= 1.0
+
+
+class TestAccuracyTable:
+    def test_table_structure_and_formatting(self):
+        bundle = load("directors", seed=0)
+        table = accuracy_table(
+            ["MaxClique", "CliqueCovering"], [bundle], seeds=[0]
+        )
+        assert set(table) == {"MaxClique", "CliqueCovering"}
+        cell = table["MaxClique"]["directors"]
+        assert {"mean", "std", "runtime"} <= set(cell)
+        assert cell["std"] == 0.0  # single seed
+
+        text = format_table(table, ["directors"], title="T")
+        assert "MaxClique" in text
+        assert "directors" in text
+
+    def test_format_table_marks_missing(self):
+        text = format_table({"M": {}}, ["ds"], title=None)
+        assert "-" in text

@@ -1,0 +1,88 @@
+"""Tests for the hyperedge-prediction extension task."""
+
+import numpy as np
+import pytest
+
+from repro.downstream.hyperedge_prediction import (
+    hyperedge_prediction_auc,
+    sample_negative_sets,
+    split_hyperedges,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+from tests.conftest import random_hypergraph
+
+
+def structured_hypergraph(seed=0, n_groups=15):
+    """Recurring tight triangles: held-out groups remain predictable."""
+    rng = np.random.default_rng(seed)
+    hypergraph = Hypergraph()
+    for base in range(0, n_groups * 3, 3):
+        hypergraph.add([base, base + 1, base + 2])
+        hypergraph.add([base, base + 1])
+    for _ in range(n_groups // 2):
+        u, v = rng.choice(n_groups * 3, size=2, replace=False)
+        if u != v:
+            hypergraph.add([int(u), int(v)])
+    return hypergraph
+
+
+class TestSplitHyperedges:
+    def test_partition(self):
+        hypergraph = random_hypergraph(seed=0, n_edges=30)
+        observed, held_out = split_hyperedges(hypergraph, 0.2, seed=0)
+        observed_edges = set(observed.edges())
+        assert observed_edges.isdisjoint(held_out)
+        assert observed_edges | set(held_out) == set(hypergraph.edges())
+
+    def test_fraction_respected(self):
+        hypergraph = random_hypergraph(seed=1, n_edges=40)
+        n_unique = hypergraph.num_unique_edges
+        _, held_out = split_hyperedges(hypergraph, 0.25, seed=0)
+        assert len(held_out) == pytest.approx(0.25 * n_unique, abs=1)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            split_hyperedges(random_hypergraph(seed=0), 1.0)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            split_hyperedges(Hypergraph(edges=[[0, 1]]), 0.5)
+
+
+class TestNegativeSets:
+    def test_size_matched_and_not_hyperedges(self):
+        hypergraph = random_hypergraph(seed=2, n_edges=25)
+        sizes = [2, 3, 4]
+        negatives = sample_negative_sets(hypergraph, sizes, seed=0)
+        assert [len(s) for s in negatives] == sizes
+        for negative in negatives:
+            assert negative not in hypergraph
+
+    def test_impossible_size_rejected(self):
+        hypergraph = Hypergraph(edges=[[0, 1], [1, 2], [0, 2], [2, 3], [3, 4]])
+        with pytest.raises(ValueError):
+            sample_negative_sets(hypergraph, [99], seed=0)
+
+
+class TestPredictionAUC:
+    def test_truth_features_beat_chance_on_structured_data(self):
+        hypergraph = structured_hypergraph(seed=0, n_groups=30)
+        aucs = []
+        for seed in (0, 1, 2):
+            observed, held_out = split_hyperedges(hypergraph, 0.3, seed=seed)
+            aucs.append(
+                hyperedge_prediction_auc(observed, hypergraph, held_out, seed=seed)
+            )
+        assert float(np.mean(aucs)) > 0.65
+
+    def test_auc_bounded(self):
+        hypergraph = random_hypergraph(seed=3, n_edges=40)
+        observed, held_out = split_hyperedges(hypergraph, 0.3, seed=0)
+        auc = hyperedge_prediction_auc(observed, hypergraph, held_out, seed=0)
+        assert 0.0 <= auc <= 1.0
+
+    def test_too_few_holdouts_rejected(self):
+        hypergraph = structured_hypergraph(seed=1)
+        observed, held_out = split_hyperedges(hypergraph, 0.2, seed=0)
+        with pytest.raises(ValueError):
+            hyperedge_prediction_auc(observed, hypergraph, held_out[:2], seed=0)

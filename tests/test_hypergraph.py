@@ -1,0 +1,162 @@
+"""Unit tests for the Hypergraph data model."""
+
+import pytest
+
+from repro.hypergraph.hypergraph import Hypergraph, as_edge
+
+
+class TestAsEdge:
+    def test_normalizes_to_frozenset(self):
+        assert as_edge([3, 1, 2]) == frozenset({1, 2, 3})
+
+    def test_deduplicates_nodes(self):
+        assert as_edge([1, 2, 2, 1]) == frozenset({1, 2})
+
+    def test_rejects_singleton(self):
+        with pytest.raises(ValueError):
+            as_edge([7])
+
+    def test_rejects_singleton_after_dedup(self):
+        with pytest.raises(ValueError):
+            as_edge([7, 7, 7])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            as_edge([])
+
+
+class TestConstruction:
+    def test_empty(self):
+        hypergraph = Hypergraph()
+        assert hypergraph.num_nodes == 0
+        assert hypergraph.num_unique_edges == 0
+        assert hypergraph.num_edges_with_multiplicity == 0
+
+    def test_from_edge_iterable(self):
+        hypergraph = Hypergraph(edges=[[0, 1], [1, 2, 3]])
+        assert hypergraph.num_unique_edges == 2
+        assert hypergraph.nodes == frozenset({0, 1, 2, 3})
+
+    def test_explicit_nodes_kept_when_isolated(self):
+        hypergraph = Hypergraph(edges=[[0, 1]], nodes=[0, 1, 99])
+        assert 99 in hypergraph.nodes
+
+    def test_duplicate_edges_accumulate_multiplicity(self):
+        hypergraph = Hypergraph(edges=[[0, 1], [1, 0]])
+        assert hypergraph.num_unique_edges == 1
+        assert hypergraph.multiplicity([0, 1]) == 2
+
+
+class TestAddRemove:
+    def test_add_with_multiplicity(self):
+        hypergraph = Hypergraph()
+        hypergraph.add([1, 2, 3], multiplicity=4)
+        assert hypergraph.multiplicity([1, 2, 3]) == 4
+        assert hypergraph.num_edges_with_multiplicity == 4
+
+    def test_add_rejects_nonpositive_multiplicity(self):
+        hypergraph = Hypergraph()
+        with pytest.raises(ValueError):
+            hypergraph.add([1, 2], multiplicity=0)
+
+    def test_remove_partial(self):
+        hypergraph = Hypergraph()
+        hypergraph.add([1, 2], multiplicity=3)
+        hypergraph.remove([1, 2])
+        assert hypergraph.multiplicity([1, 2]) == 2
+
+    def test_remove_all_copies_deletes_edge(self):
+        hypergraph = Hypergraph()
+        hypergraph.add([1, 2], multiplicity=2)
+        hypergraph.remove([1, 2], multiplicity=2)
+        assert [1, 2] not in hypergraph
+        assert hypergraph.num_unique_edges == 0
+
+    def test_remove_missing_raises(self):
+        hypergraph = Hypergraph()
+        with pytest.raises(KeyError):
+            hypergraph.remove([1, 2])
+
+    def test_over_remove_raises(self):
+        hypergraph = Hypergraph()
+        hypergraph.add([1, 2])
+        with pytest.raises(ValueError):
+            hypergraph.remove([1, 2], multiplicity=5)
+
+    def test_remove_keeps_nodes(self):
+        hypergraph = Hypergraph()
+        hypergraph.add([1, 2])
+        hypergraph.remove([1, 2])
+        assert hypergraph.nodes == frozenset({1, 2})
+
+
+class TestInspection:
+    def test_contains_accepts_any_collection(self, small_hypergraph):
+        assert [0, 1, 2] in small_hypergraph
+        assert (2, 1, 0) in small_hypergraph
+        assert {0, 1, 2} in small_hypergraph
+        assert frozenset({0, 1, 2}) in small_hypergraph
+
+    def test_contains_rejects_non_collections(self, small_hypergraph):
+        assert 5 not in small_hypergraph
+
+    def test_degree_counts_multiplicity(self, small_hypergraph):
+        # node 3 is in {2,3} once and {3,4,5} twice.
+        assert small_hypergraph.degree(3) == 3
+
+    def test_unique_degree_ignores_multiplicity(self, small_hypergraph):
+        assert small_hypergraph.unique_degree(3) == 2
+
+    def test_incident_edges(self, small_hypergraph):
+        incident = set(small_hypergraph.incident_edges(5))
+        assert incident == {frozenset({3, 4, 5}), frozenset({5, 6})}
+
+    def test_iter_multiset_repeats(self, small_hypergraph):
+        instances = list(small_hypergraph.iter_multiset())
+        assert len(instances) == 5
+        assert instances.count(frozenset({3, 4, 5})) == 2
+
+    def test_edge_sizes_histogram(self, small_hypergraph):
+        assert small_hypergraph.edge_sizes() == {2: 2, 3: 2}
+
+    def test_len_is_unique_count(self, small_hypergraph):
+        assert len(small_hypergraph) == 4
+
+
+class TestTransformations:
+    def test_reduce_multiplicity(self, small_hypergraph):
+        reduced = small_hypergraph.reduce_multiplicity()
+        assert reduced.num_unique_edges == small_hypergraph.num_unique_edges
+        assert all(m == 1 for _, m in reduced.items())
+        # Original untouched.
+        assert small_hypergraph.multiplicity([3, 4, 5]) == 2
+
+    def test_induced_subhypergraph(self, small_hypergraph):
+        sub = small_hypergraph.induced_subhypergraph([3, 4, 5, 6])
+        assert frozenset({3, 4, 5}) in sub
+        assert frozenset({5, 6}) in sub
+        assert frozenset({0, 1, 2}) not in sub
+        assert sub.multiplicity([3, 4, 5]) == 2
+
+    def test_copy_is_independent(self, small_hypergraph):
+        clone = small_hypergraph.copy()
+        clone.add([0, 6])
+        assert [0, 6] not in small_hypergraph
+        assert clone == clone.copy()
+
+    def test_equality(self):
+        a = Hypergraph(edges=[[1, 2], [2, 3]])
+        b = Hypergraph(edges=[[2, 3], [1, 2]])
+        assert a == b
+        b.add([1, 2])
+        assert a != b
+
+    def test_equality_considers_isolated_nodes(self):
+        a = Hypergraph(edges=[[1, 2]])
+        b = Hypergraph(edges=[[1, 2]], nodes=[9])
+        assert a != b
+
+    def test_repr_mentions_counts(self, small_hypergraph):
+        text = repr(small_hypergraph)
+        assert "unique_edges=4" in text
+        assert "total_edges=5" in text

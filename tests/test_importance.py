@@ -1,0 +1,72 @@
+"""Unit tests for the feature-importance analysis."""
+
+import pytest
+
+from repro.core.features import CliqueFeaturizer
+from repro.datasets import load
+from repro.experiments.importance import (
+    FEATURE_NAMES,
+    grouped_importance,
+    multiplicity_share,
+    permutation_importance,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+class TestFeatureNames:
+    def test_names_match_featurizer_dimension(self):
+        assert len(FEATURE_NAMES) == CliqueFeaturizer.n_features
+
+    def test_group_structure(self):
+        assert FEATURE_NAMES[0] == "weighted_degree_sum"
+        assert FEATURE_NAMES[5] == "edge_multiplicity_sum"
+        assert FEATURE_NAMES[10] == "mhh_sum"
+        assert FEATURE_NAMES[15] == "mhh_portion_sum"
+        assert FEATURE_NAMES[-3:] == ("clique_size", "cut_ratio", "is_maximal")
+
+
+class TestPermutationImportance:
+    @pytest.fixture(scope="class")
+    def importance(self):
+        bundle = load("enron", seed=0)
+        return permutation_importance(
+            bundle.source_hypergraph, n_repeats=3, seed=0
+        )
+
+    def test_covers_every_feature(self, importance):
+        assert set(importance) == set(FEATURE_NAMES)
+
+    def test_values_are_finite(self, importance):
+        assert all(abs(v) < 1.0 for v in importance.values())
+
+    def test_some_feature_matters(self, importance):
+        assert max(importance.values()) > 0.0
+
+    def test_empty_source_raises(self):
+        with pytest.raises(ValueError):
+            permutation_importance(Hypergraph(nodes=[0, 1]))
+
+
+class TestGrouping:
+    def test_grouped_importance_partitions_total(self):
+        importance = {name: 1.0 for name in FEATURE_NAMES}
+        groups = grouped_importance(importance)
+        assert sum(groups.values()) == pytest.approx(len(FEATURE_NAMES))
+        assert set(groups) == {
+            "weighted_degree",
+            "edge_multiplicity",
+            "mhh",
+            "mhh_portion",
+            "clique_level",
+        }
+        assert groups["mhh"] == 5.0  # mhh_portion not double-counted
+
+    def test_multiplicity_share_bounds(self):
+        importance = {name: 1.0 for name in FEATURE_NAMES}
+        share = multiplicity_share(importance)
+        # 15 of 23 features are multiplicity-derived.
+        assert share == pytest.approx(15 / 23)
+
+    def test_multiplicity_share_ignores_negative(self):
+        importance = {name: -1.0 for name in FEATURE_NAMES}
+        assert multiplicity_share(importance) == 0.0

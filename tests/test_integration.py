@@ -1,0 +1,102 @@
+"""End-to-end integration tests across the whole pipeline."""
+
+import pytest
+
+from repro.core.marioh import MARIOH
+from repro.datasets import load
+from repro.experiments import run_method
+from repro.hypergraph.projection import project
+from repro.metrics.jaccard import jaccard_similarity, multi_jaccard_similarity
+from repro.metrics.structure import structure_preservation_report
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def crime(self):
+        return load("crime", seed=0)
+
+    @pytest.fixture(scope="class")
+    def enron(self):
+        return load("enron", seed=0)
+
+    def test_marioh_full_pipeline_on_crime(self, crime):
+        model = MARIOH(seed=0, max_epochs=60)
+        reconstruction = model.fit_reconstruct(
+            crime.source_hypergraph.reduce_multiplicity(),
+            crime.target_graph_reduced,
+        )
+        score = jaccard_similarity(
+            crime.target_hypergraph_reduced, reconstruction
+        )
+        # Near-simple regime: the paper reports 100.0 for MARIOH on Crime.
+        assert score > 0.9
+
+    def test_marioh_consumption_invariant_on_real_regime(self, enron):
+        model = MARIOH(seed=0, max_epochs=40)
+        reconstruction = model.fit_reconstruct(
+            enron.source_hypergraph, enron.target_graph
+        )
+        assert project(reconstruction) == enron.target_graph
+
+    def test_marioh_beats_shyre_count_on_dense_regime(self, enron):
+        """The paper's headline: MARIOH >> SHyRe-Count on Enron."""
+        marioh = run_method("MARIOH", enron, seed=0)
+        shyre = run_method("SHyRe-Count", enron, seed=0)
+        assert marioh.jaccard > shyre.jaccard
+
+    def test_multiplicity_preserved_setting(self, enron):
+        """MARIOH must be competitive with SHyRe-Unsup under multi-Jaccard.
+
+        On the real Enron dataset the paper reports MARIOH ahead; on our
+        synthetic analogue the two land close together, so this asserts
+        parity within a small band rather than a strict win per seed.
+        """
+        marioh = run_method("MARIOH", enron, preserve_multiplicity=True, seed=0)
+        unsup = run_method(
+            "SHyRe-Unsup", enron, preserve_multiplicity=True, seed=0
+        )
+        assert marioh.multi_jaccard >= unsup.multi_jaccard - 0.05
+        # Both must be far above the multiplicity-oblivious floor.
+        assert marioh.multi_jaccard > 0.3
+
+    def test_structure_preservation_better_than_junk(self, crime):
+        marioh = run_method("MARIOH", crime, seed=0)
+        report = structure_preservation_report(
+            crime.target_hypergraph_reduced, marioh.reconstruction
+        )
+        assert report["average_overall"] < 0.2
+
+    def test_transfer_between_coauthorship_analogues(self):
+        """Table V regime: train on dblp analogue, test on mag analogue."""
+        source_bundle = load("dblp", seed=0)
+        target_bundle = load("mag-topcs", seed=0)
+        model = MARIOH(seed=0, max_epochs=60)
+        model.fit(source_bundle.source_hypergraph.reduce_multiplicity())
+        reconstruction = model.reconstruct(target_bundle.target_graph_reduced)
+        score = jaccard_similarity(
+            target_bundle.target_hypergraph_reduced, reconstruction
+        )
+        assert score > 0.5
+
+    def test_semi_supervised_monotone_tendency(self):
+        """More supervision should not hurt much (Table VI trend)."""
+        bundle = load("crime", seed=0)
+        source = bundle.source_hypergraph.reduce_multiplicity()
+        scores = {}
+        for fraction in (0.2, 1.0):
+            model = MARIOH(seed=0, max_epochs=60)
+            reconstruction = model.fit_reconstruct(
+                source, bundle.target_graph_reduced,
+                supervision_fraction=fraction,
+            )
+            scores[fraction] = jaccard_similarity(
+                bundle.target_hypergraph_reduced, reconstruction
+            )
+        assert scores[1.0] >= scores[0.2] - 0.15
+
+    def test_reconstruction_multi_jaccard_consistency(self, crime):
+        result = run_method("MARIOH", crime, preserve_multiplicity=True, seed=0)
+        recomputed = multi_jaccard_similarity(
+            crime.target_hypergraph, result.reconstruction
+        )
+        assert recomputed == pytest.approx(result.multi_jaccard)

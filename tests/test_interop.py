@@ -1,0 +1,104 @@
+"""Unit and cross-validation tests for NetworkX interoperability.
+
+The cross-validation tests use NetworkX's ``find_cliques`` as an
+independent oracle for our Bron-Kerbosch implementation.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.hypergraph.cliques import maximal_cliques
+from repro.hypergraph.graph import WeightedGraph
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.projection import project
+from repro.interop import (
+    bipartite_to_hypergraph,
+    from_networkx,
+    hypergraph_to_bipartite,
+    to_networkx,
+)
+from tests.conftest import random_hypergraph
+
+
+class TestGraphConversion:
+    def test_round_trip(self, triangle_graph):
+        triangle_graph.add_edge(0, 1, 4)  # weight 5 total
+        back = from_networkx(to_networkx(triangle_graph))
+        assert back == triangle_graph
+
+    def test_isolated_nodes_survive(self):
+        graph = WeightedGraph(nodes=[7])
+        graph.add_edge(0, 1)
+        back = from_networkx(to_networkx(graph))
+        assert 7 in back.nodes
+
+    def test_missing_weight_defaults_to_one(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_edge(0, 1)
+        assert from_networkx(nx_graph).weight(0, 1) == 1
+
+    def test_non_integer_weight_rejected(self):
+        nx_graph = nx.Graph()
+        nx_graph.add_edge(0, 1, weight=0.5)
+        with pytest.raises(ValueError):
+            from_networkx(nx_graph)
+
+    def test_weights_exported(self, triangle_graph):
+        nx_graph = to_networkx(triangle_graph)
+        assert nx_graph[0][1]["weight"] == 1
+
+
+class TestHypergraphConversion:
+    def test_round_trip_with_multiplicity(self, small_hypergraph):
+        bipartite, mapping = hypergraph_to_bipartite(small_hypergraph)
+        back = bipartite_to_hypergraph(bipartite)
+        assert back == small_hypergraph
+
+    def test_mapping_contents(self, small_hypergraph):
+        _, mapping = hypergraph_to_bipartite(small_hypergraph)
+        assert set(mapping.values()) == set(small_hypergraph.edges())
+
+    def test_bipartite_structure(self, small_hypergraph):
+        bipartite, _ = hypergraph_to_bipartite(small_hypergraph)
+        sides = nx.get_node_attributes(bipartite, "bipartite")
+        # Every edge connects the two sides.
+        for u, v in bipartite.edges():
+            assert sides[u] != sides[v]
+
+
+class TestCliqueCrossValidation:
+    """Our Bron-Kerbosch vs NetworkX's find_cliques oracle."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_projections_match_networkx(self, seed):
+        hypergraph = random_hypergraph(seed=seed, n_nodes=20, n_edges=35)
+        graph = project(hypergraph)
+        ours = set(maximal_cliques(graph))
+        theirs = {
+            frozenset(c)
+            for c in nx.find_cliques(to_networkx(graph))
+            if len(c) >= 2
+        }
+        assert ours == theirs
+
+    @pytest.mark.parametrize("p", [0.1, 0.3, 0.6])
+    def test_gnp_graphs_match_networkx(self, p):
+        rng = np.random.default_rng(hash(p) % 2**32)
+        nx_graph = nx.gnp_random_graph(25, p, seed=int(rng.integers(1e6)))
+        graph = WeightedGraph(nodes=nx_graph.nodes)
+        for u, v in nx_graph.edges():
+            graph.add_edge(u, v)
+        ours = set(maximal_cliques(graph))
+        theirs = {
+            frozenset(c) for c in nx.find_cliques(nx_graph) if len(c) >= 2
+        }
+        assert ours == theirs
+
+    def test_dense_graph_matches_networkx(self):
+        nx_graph = nx.complete_graph(9)
+        nx_graph.remove_edge(0, 1)
+        graph = from_networkx(nx_graph)
+        ours = set(maximal_cliques(graph))
+        theirs = {frozenset(c) for c in nx.find_cliques(nx_graph)}
+        assert ours == theirs

@@ -1,0 +1,76 @@
+"""Unit tests for Jaccard and multi-Jaccard similarity."""
+
+import pytest
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.metrics.jaccard import jaccard_similarity, multi_jaccard_similarity
+
+
+class TestJaccard:
+    def test_identical(self, small_hypergraph):
+        assert jaccard_similarity(small_hypergraph, small_hypergraph) == 1.0
+
+    def test_disjoint(self):
+        a = Hypergraph(edges=[[0, 1]])
+        b = Hypergraph(edges=[[2, 3]])
+        assert jaccard_similarity(a, b) == 0.0
+
+    def test_partial_overlap(self):
+        a = Hypergraph(edges=[[0, 1], [1, 2]])
+        b = Hypergraph(edges=[[0, 1], [2, 3]])
+        assert jaccard_similarity(a, b) == pytest.approx(1 / 3)
+
+    def test_ignores_multiplicity(self):
+        a = Hypergraph()
+        a.add([0, 1], multiplicity=5)
+        b = Hypergraph(edges=[[0, 1]])
+        assert jaccard_similarity(a, b) == 1.0
+
+    def test_both_empty(self):
+        assert jaccard_similarity(Hypergraph(), Hypergraph()) == 1.0
+
+    def test_symmetric(self):
+        a = Hypergraph(edges=[[0, 1], [1, 2]])
+        b = Hypergraph(edges=[[0, 1], [2, 3], [4, 5]])
+        assert jaccard_similarity(a, b) == jaccard_similarity(b, a)
+
+    def test_fig2_value(self):
+        """The paper's Fig. 2 example: 3 of 9 union edges correct."""
+        truth = Hypergraph(edges=[[0, 1], [1, 2], [2, 3], [3, 4], [4, 5], [5, 6]])
+        recon = Hypergraph(edges=[[0, 1], [1, 2], [2, 3], [7, 8], [8, 9], [9, 10]])
+        assert jaccard_similarity(truth, recon) == pytest.approx(3 / 9)
+
+
+class TestMultiJaccard:
+    def test_identical_with_multiplicity(self):
+        a = Hypergraph()
+        a.add([0, 1], multiplicity=3)
+        a.add([1, 2, 3], multiplicity=2)
+        assert multi_jaccard_similarity(a, a.copy()) == 1.0
+
+    def test_multiplicity_mismatch_penalized(self):
+        a = Hypergraph()
+        a.add([0, 1], multiplicity=4)
+        b = Hypergraph()
+        b.add([0, 1], multiplicity=1)
+        assert multi_jaccard_similarity(a, b) == pytest.approx(0.25)
+
+    def test_reduces_to_jaccard_when_all_multiplicities_one(self):
+        a = Hypergraph(edges=[[0, 1], [1, 2]])
+        b = Hypergraph(edges=[[0, 1], [2, 3]])
+        assert multi_jaccard_similarity(a, b) == jaccard_similarity(a, b)
+
+    def test_multi_jaccard_leq_one(self):
+        a = Hypergraph()
+        a.add([0, 1], multiplicity=2)
+        a.add([2, 3])
+        b = Hypergraph()
+        b.add([0, 1], multiplicity=3)
+        b.add([4, 5])
+        value = multi_jaccard_similarity(a, b)
+        assert 0.0 < value < 1.0
+        # min: 2 + 0 + 0; max: 3 + 1 + 1.
+        assert value == pytest.approx(2 / 5)
+
+    def test_both_empty(self):
+        assert multi_jaccard_similarity(Hypergraph(), Hypergraph()) == 1.0

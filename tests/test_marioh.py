@@ -1,0 +1,155 @@
+"""Unit and integration tests for the MARIOH estimator (Algorithm 1)."""
+
+import pytest
+
+from repro.core.features import CliqueFeaturizer, StructuralFeaturizer
+from repro.core.marioh import MARIOH
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.projection import project
+from repro.hypergraph.split import split_source_target
+from repro.metrics.jaccard import jaccard_similarity
+from tests.conftest import random_hypergraph
+
+
+def _structured_hypergraph(seed=0, n_groups=12):
+    """Tight recurring triangles plus pair noise - easy to learn."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    hypergraph = Hypergraph()
+    for base in range(0, n_groups * 3, 3):
+        hypergraph.add([base, base + 1, base + 2])
+    for _ in range(n_groups):
+        u, v = rng.choice(n_groups * 3, size=2, replace=False)
+        if u != v:
+            hypergraph.add([int(u), int(v)])
+    return hypergraph
+
+
+class TestConstruction:
+    def test_invalid_theta(self):
+        with pytest.raises(ValueError):
+            MARIOH(theta_init=0.0)
+        with pytest.raises(ValueError):
+            MARIOH(theta_init=1.5)
+
+    def test_invalid_r(self):
+        with pytest.raises(ValueError):
+            MARIOH(r=-1)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            MARIOH(alpha=0.0)
+
+    def test_invalid_variant(self):
+        with pytest.raises(ValueError):
+            MARIOH(variant="bogus")
+
+    def test_variant_selects_featurizer(self):
+        assert isinstance(
+            MARIOH(variant="no_multiplicity").classifier.featurizer,
+            StructuralFeaturizer,
+        )
+        assert isinstance(MARIOH().classifier.featurizer, CliqueFeaturizer)
+
+    def test_repr(self):
+        text = repr(MARIOH(seed=3))
+        assert "variant='full'" in text
+
+
+class TestFitReconstruct:
+    def test_reconstruct_before_fit_raises(self, triangle_graph):
+        with pytest.raises(RuntimeError):
+            MARIOH(seed=0).reconstruct(triangle_graph)
+
+    def test_projection_invariant(self):
+        """The reconstruction must re-project exactly to the input graph.
+
+        MARIOH consumes every unit of edge multiplicity: filtering
+        extracts exact residuals and each clique conversion decrements
+        its pairs by one, looping until the graph is empty.
+        """
+        hypergraph = random_hypergraph(seed=0, n_nodes=18, n_edges=30)
+        source, target = split_source_target(hypergraph, seed=0)
+        target_graph = project(target)
+        model = MARIOH(seed=0, max_epochs=30).fit(source)
+        reconstruction = model.reconstruct(target_graph)
+        assert project(reconstruction) == target_graph
+
+    def test_input_graph_not_mutated(self):
+        hypergraph = random_hypergraph(seed=1, n_nodes=15, n_edges=25)
+        source, target = split_source_target(hypergraph, seed=0)
+        target_graph = project(target)
+        before = target_graph.copy()
+        MARIOH(seed=0, max_epochs=30).fit(source).reconstruct(target_graph)
+        assert target_graph == before
+
+    def test_stage_times_recorded(self):
+        hypergraph = random_hypergraph(seed=2, n_nodes=12, n_edges=20)
+        source, target = split_source_target(hypergraph, seed=0)
+        model = MARIOH(seed=0, max_epochs=20)
+        model.fit_reconstruct(source, project(target))
+        assert set(model.stage_times_) == {
+            "load_sample",
+            "train",
+            "filtering",
+            "bidirectional",
+        }
+        assert all(v >= 0 for v in model.stage_times_.values())
+
+    def test_high_accuracy_on_structured_data(self):
+        hypergraph = _structured_hypergraph(seed=0)
+        source, target = split_source_target(hypergraph, seed=0)
+        model = MARIOH(seed=0, max_epochs=60)
+        reconstruction = model.fit_reconstruct(source, project(target))
+        assert jaccard_similarity(target, reconstruction) > 0.6
+
+    def test_pure_pairs_dataset_is_perfect(self):
+        """All-pairs hypergraphs are solved by filtering alone."""
+        hypergraph = Hypergraph()
+        for i in range(0, 20, 2):
+            hypergraph.add([i, i + 1], multiplicity=2)
+        source, target = split_source_target(hypergraph, seed=0)
+        model = MARIOH(seed=0, max_epochs=20)
+        reconstruction = model.fit_reconstruct(source, project(target))
+        assert jaccard_similarity(target, reconstruction) == 1.0
+
+    def test_max_iterations_caps_loop(self):
+        hypergraph = random_hypergraph(seed=3, n_nodes=15, n_edges=30)
+        source, target = split_source_target(hypergraph, seed=0)
+        model = MARIOH(seed=0, max_epochs=20, max_iterations=2)
+        model.fit(source)
+        model.reconstruct(project(target))
+        assert model.n_iterations_ <= 2
+
+    def test_semi_supervised_fraction(self):
+        hypergraph = _structured_hypergraph(seed=1)
+        source, target = split_source_target(hypergraph, seed=0)
+        model = MARIOH(seed=0, max_epochs=40)
+        reconstruction = model.fit_reconstruct(
+            source, project(target), supervision_fraction=0.5
+        )
+        assert reconstruction.num_unique_edges > 0
+
+
+class TestVariants:
+    @pytest.mark.parametrize(
+        "variant", ["full", "no_multiplicity", "no_filtering", "no_bidirectional"]
+    )
+    def test_all_variants_satisfy_projection_invariant(self, variant):
+        hypergraph = random_hypergraph(seed=5, n_nodes=15, n_edges=25)
+        source, target = split_source_target(hypergraph, seed=0)
+        target_graph = project(target)
+        model = MARIOH(variant=variant, seed=0, max_epochs=25)
+        reconstruction = model.fit_reconstruct(source, target_graph)
+        assert project(reconstruction) == target_graph
+
+    def test_no_filtering_skips_filter_stage(self):
+        hypergraph = Hypergraph()
+        for i in range(0, 12, 2):
+            hypergraph.add([i, i + 1], multiplicity=3)
+        source, target = split_source_target(hypergraph, seed=0)
+        full = MARIOH(seed=0, max_epochs=20).fit(source)
+        full.reconstruct(project(target))
+        # With filtering, the pure-pairs target empties before any search.
+        assert full.n_iterations_ == 0

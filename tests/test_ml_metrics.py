@@ -1,0 +1,111 @@
+"""Unit tests for AUC, F1, accuracy, and NMI."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy_score,
+    f1_scores,
+    normalized_mutual_information,
+    roc_auc_score,
+)
+
+
+class TestAUC:
+    def test_perfect_ranking(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted_ranking(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=2000)
+        scores = rng.random(2000)
+        assert roc_auc_score(labels, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_averaged(self):
+        # All scores equal -> AUC exactly 0.5.
+        assert roc_auc_score([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5]) == 0.5
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc_score([1, 1], [0.1, 0.2])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc_score([0, 1], [0.5])
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_partial(self):
+        assert accuracy_score([1, 2, 3, 4], [1, 2, 0, 0]) == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+
+class TestF1:
+    def test_perfect_predictions(self):
+        micro, macro = f1_scores([0, 1, 1, 2], [0, 1, 1, 2])
+        assert micro == 1.0
+        assert macro == 1.0
+
+    def test_micro_equals_accuracy_single_label(self):
+        labels = [0, 1, 1, 0, 2, 2]
+        predictions = [0, 1, 0, 0, 2, 1]
+        micro, _ = f1_scores(labels, predictions)
+        assert micro == pytest.approx(accuracy_score(labels, predictions))
+
+    def test_macro_penalizes_minority_failure(self):
+        # Majority class predicted perfectly, minority class never.
+        labels = [0] * 9 + [1]
+        predictions = [0] * 10
+        micro, macro = f1_scores(labels, predictions)
+        assert micro > macro
+
+    def test_unseen_predicted_class_counts_as_fp(self):
+        micro, macro = f1_scores([0, 0], [0, 5])
+        assert micro < 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            f1_scores([], [])
+
+
+class TestNMI:
+    def test_identical_partitions(self):
+        assert normalized_mutual_information([0, 0, 1, 1], [5, 5, 9, 9]) == pytest.approx(1.0)
+
+    def test_independent_partitions(self):
+        # One side constant, other side informative -> zero.
+        assert normalized_mutual_information([0, 0, 0, 0], [0, 1, 2, 3]) == 0.0
+
+    def test_both_constant(self):
+        assert normalized_mutual_information([1, 1], [2, 2]) == 1.0
+
+    def test_symmetric(self):
+        a = [0, 0, 1, 1, 2, 2]
+        b = [0, 1, 1, 2, 2, 0]
+        assert normalized_mutual_information(a, b) == pytest.approx(
+            normalized_mutual_information(b, a)
+        )
+
+    def test_bounded(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, size=100)
+        b = rng.integers(0, 4, size=100)
+        value = normalized_mutual_information(a, b)
+        assert 0.0 <= value <= 1.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            normalized_mutual_information([0], [0, 1])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            normalized_mutual_information([], [])

@@ -1,0 +1,91 @@
+"""Unit tests for hyperedge-overlap profiles."""
+
+import pytest
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.metrics.motifs import (
+    PROFILE_KEYS,
+    pairwise_overlap_profile,
+    profile_distance,
+)
+
+
+class TestOverlapProfile:
+    def test_all_keys_present(self, small_hypergraph):
+        profile = pairwise_overlap_profile(small_hypergraph)
+        assert set(profile) == set(PROFILE_KEYS)
+
+    def test_disjoint_hyperedges(self):
+        hypergraph = Hypergraph(edges=[[0, 1, 2], [3, 4, 5]])
+        profile = pairwise_overlap_profile(hypergraph)
+        assert profile["intersecting_rate"] == 0.0
+        assert profile["mean_jaccard"] == 0.0
+        assert profile["mean_size"] == 3.0
+
+    def test_nested_pair(self):
+        hypergraph = Hypergraph(edges=[[0, 1, 2, 3], [0, 1]])
+        profile = pairwise_overlap_profile(hypergraph)
+        assert profile["frac_nested"] == 1.0
+        assert profile["mean_intersection"] == 2.0
+        assert profile["mean_jaccard"] == pytest.approx(0.5)
+
+    def test_heavy_overlap_detected(self):
+        hypergraph = Hypergraph(edges=[[0, 1, 2], [0, 1, 3]])
+        profile = pairwise_overlap_profile(hypergraph)
+        assert profile["frac_equalish"] == 1.0
+        assert profile["frac_nested"] == 0.0
+
+    def test_pair_fraction(self):
+        hypergraph = Hypergraph(edges=[[0, 1], [2, 3, 4], [5, 6]])
+        profile = pairwise_overlap_profile(hypergraph)
+        assert profile["frac_pairs"] == pytest.approx(2 / 3)
+
+    def test_each_pair_counted_once(self):
+        # Two hyperedges sharing three nodes must still be one pair.
+        hypergraph = Hypergraph(edges=[[0, 1, 2, 3], [0, 1, 2, 4]])
+        profile = pairwise_overlap_profile(hypergraph)
+        assert profile["intersecting_rate"] == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_overlap_profile(Hypergraph(nodes=[0, 1]))
+
+    def test_multiplicity_ignored(self):
+        a = Hypergraph(edges=[[0, 1, 2], [0, 1]])
+        b = Hypergraph()
+        b.add([0, 1, 2], multiplicity=5)
+        b.add([0, 1], multiplicity=2)
+        assert pairwise_overlap_profile(a) == pairwise_overlap_profile(b)
+
+
+class TestProfileDistance:
+    def test_identity(self, small_hypergraph):
+        profile = pairwise_overlap_profile(small_hypergraph)
+        assert profile_distance(profile, profile) == 0.0
+
+    def test_symmetry(self):
+        a = pairwise_overlap_profile(Hypergraph(edges=[[0, 1], [1, 2]]))
+        b = pairwise_overlap_profile(Hypergraph(edges=[[0, 1, 2, 3], [0, 1, 2]]))
+        assert profile_distance(a, b) == profile_distance(b, a)
+
+    def test_positive_for_different_structures(self):
+        dense = pairwise_overlap_profile(
+            Hypergraph(edges=[[0, 1, 2], [0, 1, 3], [0, 2, 3]])
+        )
+        sparse = pairwise_overlap_profile(
+            Hypergraph(edges=[[0, 1], [2, 3], [4, 5]])
+        )
+        assert profile_distance(dense, sparse) > 0.3
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(KeyError):
+            profile_distance({}, {key: 0.0 for key in PROFILE_KEYS})
+
+    def test_same_domain_closer_than_cross_domain(self):
+        """The fingerprint property the transfer experiments rely on."""
+        from repro.datasets import load
+
+        dblp = pairwise_overlap_profile(load("dblp", seed=0).hypergraph)
+        mag = pairwise_overlap_profile(load("mag-topcs", seed=0).hypergraph)
+        pschool = pairwise_overlap_profile(load("pschool", seed=0).hypergraph)
+        assert profile_distance(dblp, mag) < profile_distance(dblp, pschool)

@@ -1,0 +1,128 @@
+"""Unit tests for the noise extension and ASCII visualization."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load
+from repro.experiments.noise import noise_sweep, perturb_weights
+from repro.hypergraph.graph import WeightedGraph
+from repro.viz import bar_chart, line_plot, series_table
+
+
+class TestPerturbWeights:
+    def _graph(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1, 5)
+        graph.add_edge(1, 2, 1)
+        graph.add_edge(2, 3, 3)
+        return graph
+
+    def test_zero_rate_is_identity(self):
+        graph = self._graph()
+        assert perturb_weights(graph, 0.0, seed=0) == graph
+
+    def test_input_not_mutated(self):
+        graph = self._graph()
+        before = graph.copy()
+        perturb_weights(graph, 1.0, seed=0)
+        assert graph == before
+
+    def test_full_rate_changes_weights_by_one(self):
+        graph = self._graph()
+        noisy = perturb_weights(graph, 1.0, seed=0)
+        for u, v, w in graph.edges_with_weights():
+            assert abs(noisy.weight(u, v) - w) == 1
+
+    def test_weights_never_drop_below_one(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1, 1)
+        for seed in range(10):
+            noisy = perturb_weights(graph, 1.0, seed=seed)
+            assert noisy.weight(0, 1) >= 1
+
+    def test_topology_is_preserved(self):
+        graph = self._graph()
+        noisy = perturb_weights(graph, 1.0, seed=3)
+        assert sorted(noisy.edges()) == sorted(graph.edges())
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            perturb_weights(self._graph(), 1.5)
+
+    def test_deterministic_with_seed(self):
+        graph = self._graph()
+        a = perturb_weights(graph, 0.5, seed=9)
+        b = perturb_weights(graph, 0.5, seed=9)
+        assert a == b
+
+
+class TestNoiseSweep:
+    def test_returns_one_score_per_rate(self):
+        bundle = load("crime", seed=0)
+        results = noise_sweep(bundle, flip_rates=(0.0, 0.3), seed=0)
+        assert [rate for rate, _ in results] == [0.0, 0.3]
+        assert all(0.0 <= score <= 1.0 for _, score in results)
+
+    def test_clean_rate_matches_direct_run(self):
+        bundle = load("crime", seed=0)
+        results = noise_sweep(bundle, flip_rates=(0.0,), seed=0)
+        assert results[0][1] > 0.9  # crime analogue is solvable
+
+
+class TestBarChart:
+    def test_contains_labels_and_values(self):
+        text = bar_chart({"alpha": 1.0, "beta": 0.5}, title="T")
+        assert "T" in text
+        assert "alpha" in text
+        assert "1.000" in text
+
+    def test_longest_bar_is_max(self):
+        text = bar_chart({"a": 2.0, "b": 1.0}, width=10)
+        bars = [line.count("#") for line in text.splitlines()]
+        assert bars[0] == 10
+        assert bars[1] == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+
+    def test_all_zero_values(self):
+        text = bar_chart({"a": 0.0, "b": 0.0})
+        assert "#" not in text
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart({})
+
+
+class TestLinePlot:
+    def test_plots_all_points(self):
+        points = [(1.0, 1.0), (2.0, 4.0), (3.0, 9.0)]
+        text = line_plot(points, height=5, width=20)
+        assert text.count("*") == 3
+
+    def test_log_axes(self):
+        points = [(10.0, 0.1), (100.0, 1.0), (1000.0, 10.0)]
+        text = line_plot(points, logx=True, logy=True)
+        assert "log10(x)" in text
+        assert "log10(y)" in text
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            line_plot([(0.0, 1.0)], logx=True)
+
+    def test_constant_series(self):
+        text = line_plot([(1.0, 2.0), (2.0, 2.0)], height=5, width=10)
+        assert text.count("*") == 2
+
+    def test_empty(self):
+        assert "(no data)" in line_plot([])
+
+
+class TestSeriesTable:
+    def test_renders_named_series(self):
+        text = series_table(
+            {"theta": [(0.5, 0.9), (1.0, 0.95)]}, title="sweep"
+        )
+        assert "sweep" in text
+        assert "theta" in text
+        assert "0.5:0.900" in text

@@ -1,0 +1,130 @@
+"""Tests for null models and the multi-seed evaluation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load
+from repro.experiments.crossval import (
+    SeedSweepResult,
+    compare_methods,
+    paired_sign_test,
+    seed_sweep,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.nullmodels import configuration_model, shuffle_hypergraph
+from tests.conftest import random_hypergraph
+
+
+class TestConfigurationModel:
+    def test_preserves_size_sequence(self):
+        reference = random_hypergraph(seed=0, n_nodes=20, n_edges=30)
+        randomized = configuration_model(reference, seed=0)
+        original = sorted(len(e) for e in reference.iter_multiset())
+        shuffled = sorted(len(e) for e in randomized.iter_multiset())
+        assert original == shuffled
+
+    def test_preserves_node_universe(self):
+        reference = random_hypergraph(seed=1)
+        randomized = configuration_model(reference, seed=0)
+        assert randomized.nodes == reference.nodes
+
+    def test_degree_bias_respected(self):
+        """A hub node of the reference stays high degree in expectation."""
+        hypergraph = Hypergraph()
+        for i in range(1, 30):
+            hypergraph.add([0, i])  # node 0 in every edge
+        randomized = configuration_model(hypergraph, seed=0)
+        degrees = {u: randomized.degree(u) for u in randomized.nodes}
+        assert degrees[0] == max(degrees.values())
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            configuration_model(Hypergraph(nodes=[0]), seed=0)
+
+    def test_deterministic(self):
+        reference = random_hypergraph(seed=2)
+        assert configuration_model(reference, seed=5) == configuration_model(
+            reference, seed=5
+        )
+
+
+class TestShuffleHypergraph:
+    def test_preserves_sizes_and_degrees_exactly(self):
+        reference = random_hypergraph(seed=3, n_nodes=20, n_edges=30)
+        shuffled = shuffle_hypergraph(reference, seed=0)
+        assert sorted(len(e) for e in reference.iter_multiset()) == sorted(
+            len(e) for e in shuffled.iter_multiset()
+        )
+        for node in reference.nodes:
+            assert reference.degree(node) == shuffled.degree(node)
+
+    def test_actually_shuffles(self):
+        reference = random_hypergraph(seed=4, n_nodes=25, n_edges=40)
+        shuffled = shuffle_hypergraph(reference, seed=0)
+        assert shuffled != reference
+
+    def test_single_edge_is_fixed_point(self):
+        reference = Hypergraph(edges=[[0, 1, 2]])
+        assert shuffle_hypergraph(reference, seed=0) == reference
+
+
+class TestSeedSweep:
+    @pytest.fixture(scope="class")
+    def bundle(self):
+        return load("directors", seed=0)
+
+    def test_scores_per_seed(self, bundle):
+        sweep = seed_sweep("MaxClique", bundle, seeds=[0, 1, 2])
+        assert len(sweep.scores) == 3
+        assert sweep.method == "MaxClique"
+        assert 0.0 <= sweep.mean <= 1.0
+
+    def test_empty_seeds_rejected(self, bundle):
+        with pytest.raises(ValueError):
+            seed_sweep("MaxClique", bundle, seeds=[])
+
+    def test_confidence_interval_contains_mean(self, bundle):
+        sweep = SeedSweepResult("m", "d", (0.5, 0.6, 0.7, 0.8))
+        low, high = sweep.confidence_interval(seed=0)
+        assert low <= sweep.mean <= high
+
+    def test_confidence_interval_level_validated(self):
+        sweep = SeedSweepResult("m", "d", (0.5, 0.6))
+        with pytest.raises(ValueError):
+            sweep.confidence_interval(level=1.5)
+
+
+class TestPairedSignTest:
+    def test_all_ties_gives_one(self):
+        assert paired_sign_test([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_consistent_winner_gives_small_p(self):
+        a = [0.9] * 10
+        b = [0.1] * 10
+        assert paired_sign_test(a, b) < 0.01
+
+    def test_symmetric(self):
+        a = [0.9, 0.8, 0.7, 0.2]
+        b = [0.1, 0.2, 0.9, 0.8]
+        assert paired_sign_test(a, b) == paired_sign_test(b, a)
+
+    def test_bounded(self):
+        rng = np.random.default_rng(0)
+        a = rng.random(8)
+        b = rng.random(8)
+        assert 0.0 <= paired_sign_test(a, b) <= 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_sign_test([1], [1, 2])
+
+
+class TestCompareMethods:
+    def test_marioh_vs_maxclique_on_easy_data(self):
+        bundle = load("directors", seed=0)
+        comparison = compare_methods(
+            "MARIOH", "MaxClique", [bundle], seeds=(0, 1)
+        )
+        assert comparison["mean_a"] >= comparison["mean_b"]
+        assert "directors" in comparison["per_dataset"]
+        assert 0.0 <= comparison["p_value"] <= 1.0

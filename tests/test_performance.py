@@ -1,0 +1,67 @@
+"""Performance regression guards.
+
+Loose wall-clock budgets on the operations users hit in a loop.  The
+limits are ~10x typical measured times, so they only trip on genuine
+regressions (accidental quadratic loops, lost caching), not on slow CI.
+"""
+
+import time
+
+import pytest
+
+from repro.core.filtering import filter_guaranteed_pairs
+from repro.core.marioh import MARIOH
+from repro.datasets import load
+from repro.hypergraph.cliques import maximal_cliques_list
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.metrics.jaccard import multi_jaccard_similarity
+from repro.metrics.structure import structure_preservation_report
+
+
+def elapsed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    return load("dblp", seed=0)
+
+
+class TestPerformanceBudgets:
+    def test_filtering_is_fast(self, dblp):
+        graph = dblp.target_graph
+        _, seconds = elapsed(
+            lambda: filter_guaranteed_pairs(
+                graph, Hypergraph(nodes=graph.nodes)
+            )
+        )
+        assert seconds < 2.0
+
+    def test_maximal_cliques_fast_on_sparse_graph(self, dblp):
+        _, seconds = elapsed(lambda: maximal_cliques_list(dblp.target_graph))
+        assert seconds < 2.0
+
+    def test_full_marioh_run_bounded(self, dblp):
+        model = MARIOH(seed=0)
+        _, seconds = elapsed(
+            lambda: model.fit_reconstruct(
+                dblp.source_hypergraph, dblp.target_graph
+            )
+        )
+        assert seconds < 30.0
+
+    def test_structure_report_bounded(self, dblp):
+        truth = dblp.target_hypergraph_reduced
+        _, seconds = elapsed(
+            lambda: structure_preservation_report(truth, truth.copy())
+        )
+        assert seconds < 10.0
+
+    def test_multi_jaccard_scales_linearly_enough(self, dblp):
+        truth = dblp.target_hypergraph
+        _, seconds = elapsed(
+            lambda: [multi_jaccard_similarity(truth, truth.copy()) for _ in range(20)]
+        )
+        assert seconds < 2.0

@@ -1,0 +1,98 @@
+"""Tests for model persistence (save/load round trips)."""
+
+import numpy as np
+import pytest
+
+from repro.core.marioh import MARIOH
+from repro.datasets import load
+from repro.hypergraph.projection import project
+from repro.hypergraph.split import split_source_target
+from repro.ml.mlp import MLPClassifier
+from tests.conftest import random_hypergraph
+
+
+class TestMLPPersistence:
+    def _fitted(self):
+        rng = np.random.default_rng(0)
+        x = np.vstack(
+            [rng.normal(-2, 0.5, (40, 3)), rng.normal(2, 0.5, (40, 3))]
+        )
+        y = np.concatenate([np.zeros(40, dtype=int), np.ones(40, dtype=int)])
+        return MLPClassifier(hidden_sizes=(8,), max_epochs=30, seed=0).fit(x, y), x
+
+    def test_round_trip_scores_identical(self):
+        model, x = self._fitted()
+        clone = MLPClassifier.from_dict(model.to_dict())
+        np.testing.assert_allclose(
+            clone.predict_score(x), model.predict_score(x)
+        )
+
+    def test_round_trip_predictions_identical(self):
+        model, x = self._fitted()
+        clone = MLPClassifier.from_dict(model.to_dict())
+        np.testing.assert_array_equal(clone.predict(x), model.predict(x))
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            MLPClassifier().to_dict()
+
+    def test_dict_is_json_safe(self):
+        import json
+
+        model, _ = self._fitted()
+        json.dumps(model.to_dict())  # must not raise
+
+
+class TestMariohPersistence:
+    def test_save_load_reconstructs_identically(self, tmp_path):
+        hypergraph = random_hypergraph(seed=0, n_nodes=18, n_edges=30)
+        source, target = split_source_target(hypergraph, seed=0)
+        graph = project(target)
+
+        original = MARIOH(seed=0, max_epochs=30).fit(source)
+        path = tmp_path / "model.json"
+        original.save(path)
+        loaded = MARIOH.load(path)
+
+        assert loaded.reconstruct(graph) == original.reconstruct(graph)
+
+    def test_hyperparameters_survive(self, tmp_path):
+        hypergraph = random_hypergraph(seed=1, n_nodes=14, n_edges=20)
+        model = MARIOH(
+            theta_init=0.7, r=40.0, alpha=1 / 10, seed=3, max_epochs=15
+        ).fit(hypergraph)
+        path = tmp_path / "model.json"
+        model.save(path)
+        loaded = MARIOH.load(path)
+        assert loaded.theta_init == 0.7
+        assert loaded.r == 40.0
+        assert loaded.alpha == pytest.approx(1 / 10)
+        assert loaded.seed == 3
+
+    def test_transfer_workflow(self, tmp_path):
+        """Train on dblp analogue, save, load, reconstruct mag analogue."""
+        from repro.metrics.jaccard import jaccard_similarity
+
+        source_bundle = load("dblp", seed=0)
+        model = MARIOH(seed=0)
+        model.fit(source_bundle.source_hypergraph.reduce_multiplicity())
+        path = tmp_path / "dblp-model.json"
+        model.save(path)
+
+        target_bundle = load("mag-topcs", seed=0)
+        loaded = MARIOH.load(path)
+        reconstruction = loaded.reconstruct(target_bundle.target_graph_reduced)
+        score = jaccard_similarity(
+            target_bundle.target_hypergraph_reduced, reconstruction
+        )
+        assert score > 0.5
+
+    def test_unfitted_save_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            MARIOH(seed=0).save(tmp_path / "nope.json")
+
+    def test_wrong_file_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError):
+            MARIOH.load(path)

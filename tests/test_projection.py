@@ -1,0 +1,61 @@
+"""Unit tests for clique expansion (projection)."""
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.projection import project, unweighted_projection
+
+
+class TestProject:
+    def test_single_hyperedge_becomes_clique(self):
+        hypergraph = Hypergraph(edges=[[0, 1, 2, 3]])
+        graph = project(hypergraph)
+        assert graph.num_edges == 6  # C(4, 2)
+        assert all(w == 1 for _, _, w in graph.edges_with_weights())
+
+    def test_overlapping_hyperedges_stack_weights(self):
+        hypergraph = Hypergraph(edges=[[0, 1, 2], [0, 1, 3]])
+        graph = project(hypergraph)
+        assert graph.weight(0, 1) == 2
+        assert graph.weight(0, 2) == 1
+        assert graph.weight(1, 3) == 1
+
+    def test_hyperedge_multiplicity_multiplies_weight(self):
+        hypergraph = Hypergraph()
+        hypergraph.add([0, 1], multiplicity=3)
+        graph = project(hypergraph)
+        assert graph.weight(0, 1) == 3
+
+    def test_isolated_nodes_survive(self):
+        hypergraph = Hypergraph(edges=[[0, 1]], nodes=[0, 1, 7])
+        graph = project(hypergraph)
+        assert 7 in graph.nodes
+        assert graph.degree(7) == 0
+
+    def test_weight_equals_paper_definition(self, small_hypergraph):
+        """w_uv must equal sum over hyperedges of M_H(e) * 1({u,v} <= e)."""
+        graph = project(small_hypergraph)
+        for u, v, w in graph.edges_with_weights():
+            expected = sum(
+                multiplicity
+                for edge, multiplicity in small_hypergraph.items()
+                if u in edge and v in edge
+            )
+            assert w == expected
+
+    def test_empty_hypergraph_projects_to_empty_graph(self):
+        graph = project(Hypergraph())
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+
+
+class TestUnweightedProjection:
+    def test_all_weights_are_one(self):
+        hypergraph = Hypergraph()
+        hypergraph.add([0, 1, 2], multiplicity=5)
+        hypergraph.add([0, 1])
+        graph = unweighted_projection(hypergraph)
+        assert all(w == 1 for _, _, w in graph.edges_with_weights())
+
+    def test_same_topology_as_weighted(self, small_hypergraph):
+        weighted = project(small_hypergraph)
+        unweighted = unweighted_projection(small_hypergraph)
+        assert sorted(weighted.edges()) == sorted(unweighted.edges())

@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These exercise the data structures and the algorithmic guarantees of the
+paper (Lemmas 1-2, the projection/consumption invariant, Jaccard's metric
+axioms) over randomly generated hypergraphs.
+"""
+
+from itertools import combinations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.filtering import filter_guaranteed_pairs, mhh
+from repro.hypergraph.cliques import is_clique, maximal_cliques
+from repro.hypergraph.graph import WeightedGraph
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.projection import project
+from repro.metrics.jaccard import jaccard_similarity, multi_jaccard_similarity
+from repro.metrics.structure import ks_statistic, normalized_difference
+
+
+@st.composite
+def hypergraphs(draw, max_nodes=12, max_edges=15):
+    """Random hypergraphs with small node universes (dense overlaps)."""
+    n_nodes = draw(st.integers(min_value=3, max_value=max_nodes))
+    n_edges = draw(st.integers(min_value=1, max_value=max_edges))
+    hypergraph = Hypergraph(nodes=range(n_nodes))
+    for _ in range(n_edges):
+        size = draw(st.integers(min_value=2, max_value=min(5, n_nodes)))
+        members = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_nodes - 1),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        multiplicity = draw(st.integers(min_value=1, max_value=3))
+        hypergraph.add(members, multiplicity)
+    return hypergraph
+
+
+class TestProjectionProperties:
+    @given(hypergraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_every_hyperedge_is_a_clique_of_the_projection(self, hypergraph):
+        graph = project(hypergraph)
+        for edge in hypergraph:
+            assert is_clique(graph, edge)
+
+    @given(hypergraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_edge_weight_equals_co_membership_count(self, hypergraph):
+        graph = project(hypergraph)
+        for u, v, w in graph.edges_with_weights():
+            expected = sum(
+                m for e, m in hypergraph.items() if u in e and v in e
+            )
+            assert w == expected
+
+    @given(hypergraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_projection_weight_conserved_under_reduction(self, hypergraph):
+        """Reducing hyperedge multiplicity can only lower edge weights."""
+        full = project(hypergraph)
+        reduced = project(hypergraph.reduce_multiplicity())
+        for u, v, w in reduced.edges_with_weights():
+            assert w <= full.weight(u, v)
+
+
+class TestFilteringProperties:
+    @given(hypergraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_lemma1_mhh_upper_bounds_higher_order(self, hypergraph):
+        graph = project(hypergraph)
+        for u, v in graph.edges():
+            true_higher = sum(
+                m
+                for e, m in hypergraph.items()
+                if u in e and v in e and len(e) >= 3
+            )
+            assert mhh(graph, u, v) >= true_higher
+
+    @given(hypergraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_lemma2_filter_extracts_only_true_pairs(self, hypergraph):
+        graph = project(hypergraph)
+        reconstruction = Hypergraph(nodes=graph.nodes)
+        _, reconstruction = filter_guaranteed_pairs(graph, reconstruction)
+        for edge, multiplicity in reconstruction.items():
+            assert hypergraph.multiplicity(edge) >= multiplicity
+
+    @given(hypergraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_filtering_conserves_weight(self, hypergraph):
+        graph = project(hypergraph)
+        reconstruction = Hypergraph(nodes=graph.nodes)
+        intermediate, reconstruction = filter_guaranteed_pairs(
+            graph, reconstruction
+        )
+        extracted = sum(m for _, m in reconstruction.items())
+        assert extracted + intermediate.total_weight() == graph.total_weight()
+
+
+class TestCliqueProperties:
+    @given(hypergraphs())
+    @settings(max_examples=30, deadline=None)
+    def test_maximal_cliques_cover_all_edges(self, hypergraph):
+        graph = project(hypergraph)
+        cliques = list(maximal_cliques(graph))
+        for u, v in graph.edges():
+            assert any(u in c and v in c for c in cliques)
+
+    @given(hypergraphs())
+    @settings(max_examples=30, deadline=None)
+    def test_maximal_cliques_are_cliques_and_maximal(self, hypergraph):
+        graph = project(hypergraph)
+        cliques = list(maximal_cliques(graph))
+        for clique in cliques:
+            assert is_clique(graph, clique)
+        for a in cliques:
+            for b in cliques:
+                assert a == b or not (a < b)
+
+
+class TestMetricProperties:
+    @given(hypergraphs(), hypergraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_jaccard_bounds_and_symmetry(self, a, b):
+        value = jaccard_similarity(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == jaccard_similarity(b, a)
+
+    @given(hypergraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_jaccard_identity(self, hypergraph):
+        assert jaccard_similarity(hypergraph, hypergraph.copy()) == 1.0
+        assert multi_jaccard_similarity(hypergraph, hypergraph.copy()) == 1.0
+
+    @given(hypergraphs(), hypergraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_multi_jaccard_bounds_and_symmetry(self, a, b):
+        value = multi_jaccard_similarity(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == multi_jaccard_similarity(b, a)
+
+    @given(hypergraphs(), hypergraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_multi_jaccard_zero_iff_jaccard_zero(self, a, b):
+        """The two scores agree on total disagreement."""
+        assert (multi_jaccard_similarity(a, b) == 0.0) == (
+            jaccard_similarity(a, b) == 0.0
+        )
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=100), max_size=20),
+        st.lists(st.floats(min_value=0, max_value=100), max_size=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_ks_statistic_bounds(self, a, b):
+        assert 0.0 <= ks_statistic(a, b) <= 1.0
+
+    @given(
+        st.floats(min_value=0, max_value=1e6),
+        st.floats(min_value=0, max_value=1e6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_normalized_difference_bounds(self, x, y):
+        assert 0.0 <= normalized_difference(x, y) <= 1.0
+
+
+class TestGraphMutationProperties:
+    @given(hypergraphs())
+    @settings(max_examples=30, deadline=None)
+    def test_decrement_all_weights_empties_graph(self, hypergraph):
+        graph = project(hypergraph)
+        for u, v, w in list(graph.edges_with_weights()):
+            graph.decrement_edge(u, v, w)
+        assert graph.is_empty()
+        assert graph.total_weight() == 0
+
+    @given(hypergraphs())
+    @settings(max_examples=30, deadline=None)
+    def test_copy_equality_roundtrip(self, hypergraph):
+        graph = project(hypergraph)
+        assert graph == graph.copy()
+        assert hypergraph == hypergraph.copy()

@@ -1,0 +1,96 @@
+"""Tests for reconstruction provenance."""
+
+import pytest
+
+from repro.core.marioh import MARIOH, ProvenanceRecord
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.projection import project
+from repro.hypergraph.split import split_source_target
+from tests.conftest import random_hypergraph
+
+
+@pytest.fixture(scope="module")
+def traced():
+    hypergraph = random_hypergraph(seed=0, n_nodes=18, n_edges=35)
+    source, target = split_source_target(hypergraph, seed=0)
+    target_graph = project(target)
+    model = MARIOH(seed=0, max_epochs=30, record_provenance=True)
+    reconstruction = model.fit_reconstruct(source, target_graph)
+    return model, reconstruction
+
+
+class TestProvenance:
+    def test_disabled_by_default(self):
+        hypergraph = random_hypergraph(seed=1, n_nodes=12, n_edges=20)
+        source, target = split_source_target(hypergraph, seed=0)
+        model = MARIOH(seed=0, max_epochs=20)
+        model.fit_reconstruct(source, project(target))
+        assert model.provenance_ == []
+
+    def test_covers_entire_reconstruction(self, traced):
+        model, reconstruction = traced
+        total = sum(record.multiplicity for record in model.provenance_)
+        assert total == reconstruction.num_edges_with_multiplicity
+
+    def test_edges_match_reconstruction(self, traced):
+        model, reconstruction = traced
+        recorded = {record.edge for record in model.provenance_}
+        assert recorded == set(reconstruction.edges())
+
+    def test_stage_values(self, traced):
+        model, _ = traced
+        assert {r.stage for r in model.provenance_} <= {
+            "filtering",
+            "phase1",
+            "phase2",
+        }
+
+    def test_filtering_records_have_no_score(self, traced):
+        model, _ = traced
+        for record in model.provenance_:
+            if record.stage == "filtering":
+                assert record.score is None
+                assert record.iteration == 0
+                assert len(record.edge) == 2
+            else:
+                assert record.score is not None
+                assert record.iteration >= 1
+
+    def test_search_scores_exceed_their_theta(self, traced):
+        model, _ = traced
+        for record in model.provenance_:
+            if record.stage != "filtering":
+                assert record.theta is not None
+                assert record.score > record.theta
+
+    def test_iterations_are_monotone_in_theta(self, traced):
+        """theta decays over iterations, so later records carry lower
+        (or equal, once floored at 0) thresholds."""
+        model, _ = traced
+        by_iteration = {}
+        for record in model.provenance_:
+            if record.stage != "filtering":
+                by_iteration.setdefault(record.iteration, record.theta)
+        iterations = sorted(by_iteration)
+        thetas = [by_iteration[i] for i in iterations]
+        assert thetas == sorted(thetas, reverse=True)
+
+    def test_pure_pair_dataset_is_all_filtering(self):
+        hypergraph = Hypergraph()
+        for i in range(0, 16, 2):
+            hypergraph.add([i, i + 1], multiplicity=2)
+        source, target = split_source_target(hypergraph, seed=0)
+        model = MARIOH(seed=0, max_epochs=20, record_provenance=True)
+        model.fit_reconstruct(source, project(target))
+        assert all(r.stage == "filtering" for r in model.provenance_)
+
+    def test_record_is_frozen(self):
+        record = ProvenanceRecord(
+            edge=frozenset({0, 1}),
+            stage="filtering",
+            iteration=0,
+            score=None,
+            theta=None,
+        )
+        with pytest.raises(Exception):
+            record.stage = "phase1"

@@ -1,0 +1,50 @@
+"""Unit tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.experiments.report import (
+    QUICK_DATASETS,
+    QUICK_METHODS,
+    full_report,
+)
+
+
+class TestFullReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return full_report(seed=0, quick=True)
+
+    def test_contains_all_sections(self, report):
+        for heading in (
+            "# MARIOH reproduction report",
+            "## Datasets",
+            "## Accuracy, multiplicity-reduced",
+            "## Accuracy, multiplicity-preserved",
+            "## Feature importance",
+            "## Storage",
+            "**Summary:**",
+        ):
+            assert heading in report
+
+    def test_mentions_quick_datasets_and_methods(self, report):
+        for name in QUICK_DATASETS:
+            assert name in report
+        for method in QUICK_METHODS:
+            assert method in report
+
+    def test_custom_subset(self):
+        report = full_report(
+            datasets=["directors"], methods=["MaxClique", "MARIOH"], seed=0
+        )
+        assert "directors" in report
+        assert "MaxClique" in report
+        assert "enron" not in report
+
+    def test_is_deterministic(self):
+        a = full_report(datasets=["directors"], methods=["MARIOH"], seed=1)
+        b = full_report(datasets=["directors"], methods=["MARIOH"], seed=1)
+        # Strip the timing line, which legitimately differs.
+        trim = lambda text: "\n".join(
+            line for line in text.splitlines() if "s total" not in line
+        )
+        assert trim(a) == trim(b)

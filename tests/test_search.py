@@ -1,0 +1,172 @@
+"""Unit tests for the bidirectional search (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import CliqueClassifier
+from repro.core.search import (
+    _replace_if_present,
+    bidirectional_search,
+    decay_threshold,
+    sample_subcliques,
+)
+from repro.hypergraph.graph import WeightedGraph
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.projection import project
+from tests.conftest import random_hypergraph
+
+
+class _ConstantScorer:
+    """Classifier stub with a fixed score per clique size."""
+
+    is_fitted = True
+
+    def __init__(self, score_by_size):
+        self.score_by_size = score_by_size
+
+    def score(self, cliques, graph, reference_graph=None):
+        return np.asarray(
+            [self.score_by_size.get(len(c), 0.5) for c in cliques]
+        )
+
+
+class TestReplaceIfPresent:
+    def test_replaces_and_reports_vanished_edges(self, triangle_graph):
+        reconstruction = Hypergraph(nodes=triangle_graph.nodes)
+        vanished = _replace_if_present(
+            frozenset({0, 1, 2}), triangle_graph, reconstruction
+        )
+        assert vanished is not None
+        assert sorted(vanished) == [(0, 1), (0, 2), (1, 2)]
+        assert frozenset({0, 1, 2}) in reconstruction
+        assert triangle_graph.is_empty()
+
+    def test_skips_when_edge_missing(self, triangle_graph):
+        triangle_graph.remove_edge(0, 1)
+        reconstruction = Hypergraph(nodes=triangle_graph.nodes)
+        assert (
+            _replace_if_present(
+                frozenset({0, 1, 2}), triangle_graph, reconstruction
+            )
+            is None
+        )
+        assert reconstruction.num_unique_edges == 0
+
+    def test_partial_weights_remain(self):
+        graph = WeightedGraph()
+        for u, v in [(0, 1), (1, 2), (0, 2)]:
+            graph.add_edge(u, v, 2)
+        reconstruction = Hypergraph(nodes=graph.nodes)
+        vanished = _replace_if_present(frozenset({0, 1, 2}), graph, reconstruction)
+        assert vanished == []  # converted, but no edge hit weight zero
+        assert graph.weight(0, 1) == 1
+
+
+class TestSampleSubcliques:
+    def test_counts_follow_paper_formula(self, rng):
+        cliques = [frozenset(range(5)), frozenset({10, 11, 12})]
+        sampled = sample_subcliques(cliques, rng)
+        # sum over Q of (|Q| - 2) = 3 + 1, minus possible dedup collisions.
+        assert 1 <= len(sampled) <= 4
+
+    def test_subcliques_are_proper_subsets(self, rng):
+        clique = frozenset(range(6))
+        for sub in sample_subcliques([clique], rng):
+            assert sub < clique
+            assert len(sub) >= 2
+
+    def test_size_two_cliques_yield_nothing(self, rng):
+        assert sample_subcliques([frozenset({0, 1})], rng) == []
+
+
+class TestBidirectionalSearch:
+    def test_high_scores_are_converted(self, paper_figure3_graph):
+        scorer = _ConstantScorer({2: 0.9, 3: 0.9, 4: 0.9})
+        reconstruction = Hypergraph(nodes=paper_figure3_graph.nodes)
+        graph = paper_figure3_graph.copy()
+        graph, reconstruction, n = bidirectional_search(
+            graph, scorer, 0.5, 20.0, reconstruction,
+            rng=np.random.default_rng(0),
+        )
+        assert n > 0
+        assert reconstruction.num_unique_edges > 0
+
+    def test_low_scores_are_not_converted_in_phase1(self, paper_figure3_graph):
+        scorer = _ConstantScorer({2: 0.1, 3: 0.1, 4: 0.1})
+        reconstruction = Hypergraph(nodes=paper_figure3_graph.nodes)
+        graph = paper_figure3_graph.copy()
+        graph, reconstruction, n = bidirectional_search(
+            graph, scorer, 0.95, 0.0, reconstruction,
+            rng=np.random.default_rng(0),
+        )
+        assert n == 0
+        assert reconstruction.num_unique_edges == 0
+
+    def test_phase2_finds_subcliques(self):
+        """Sub-cliques of low-score maximal cliques can still convert."""
+        graph = WeightedGraph()
+        for u, v in [(0, 1), (1, 2), (0, 2), (2, 3)]:
+            graph.add_edge(u, v)
+        # size-3/size-4 score low, size-2 scores high: Phase 2 samples
+        # 2-subsets of the triangle.
+        scorer = _ConstantScorer({2: 0.9, 3: 0.1})
+        reconstruction = Hypergraph(nodes=graph.nodes)
+        graph, reconstruction, n = bidirectional_search(
+            graph, scorer, 0.5, 100.0, reconstruction,
+            rng=np.random.default_rng(0),
+        )
+        assert n > 0
+        assert all(len(edge) == 2 for edge in reconstruction)
+
+    def test_skip_negative_phase(self):
+        graph = WeightedGraph()
+        for u, v in [(0, 1), (1, 2), (0, 2)]:
+            graph.add_edge(u, v)
+        scorer = _ConstantScorer({2: 0.9, 3: 0.1})
+        reconstruction = Hypergraph(nodes=graph.nodes)
+        graph, reconstruction, n = bidirectional_search(
+            graph, scorer, 0.5, 100.0, reconstruction,
+            rng=np.random.default_rng(0), skip_negative_phase=True,
+        )
+        assert n == 0
+
+    def test_overlapping_cliques_respect_removal_order(self):
+        """Fig. 3's (A)/(B) interaction: removing an earlier clique can
+        invalidate a later one."""
+        hypergraph = Hypergraph(edges=[[5, 6, 7], [2, 3, 5, 6]])
+        graph = project(hypergraph)
+        # Make the triangle score highest so it converts first; the
+        # 4-clique shares edge (5, 6) and should then fail validation
+        # only if (5,6) hit zero - here w_56 = 2, so both convert.
+        scorer = _ConstantScorer({3: 0.99, 4: 0.8, 2: 0.7})
+        reconstruction = Hypergraph(nodes=graph.nodes)
+        graph, reconstruction, n = bidirectional_search(
+            graph, scorer, 0.5, 0.0, reconstruction,
+            rng=np.random.default_rng(0),
+        )
+        assert frozenset({5, 6, 7}) in reconstruction
+        assert frozenset({2, 3, 5, 6}) in reconstruction
+
+    def test_invalid_r_raises(self, triangle_graph):
+        scorer = _ConstantScorer({})
+        with pytest.raises(ValueError):
+            bidirectional_search(
+                triangle_graph, scorer, 0.5, 150.0,
+                Hypergraph(nodes=triangle_graph.nodes),
+            )
+
+    def test_empty_graph_is_noop(self):
+        graph = WeightedGraph(nodes=[0, 1])
+        scorer = _ConstantScorer({})
+        graph, reconstruction, n = bidirectional_search(
+            graph, scorer, 0.5, 20.0, Hypergraph(nodes=graph.nodes)
+        )
+        assert n == 0
+
+
+class TestDecayThreshold:
+    def test_linear_decay(self):
+        assert decay_threshold(0.9, 0.9, 1 / 20) == pytest.approx(0.855)
+
+    def test_floors_at_zero(self):
+        assert decay_threshold(0.01, 0.9, 1 / 20) == 0.0

@@ -1,0 +1,109 @@
+"""Unit tests for the SHyRe baselines (Count, Motif, Unsup)."""
+
+import pytest
+
+from repro.baselines.shyre import MotifFeaturizer, ShyreCount, ShyreMotif
+from repro.baselines.shyre_unsup import ShyreUnsup, _rank_key
+from repro.hypergraph.cliques import is_clique
+from repro.hypergraph.graph import WeightedGraph
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.projection import project
+from repro.hypergraph.split import split_source_target
+from repro.metrics.jaccard import jaccard_similarity
+from tests.conftest import random_hypergraph
+
+
+class TestMotifFeaturizer:
+    def test_dimension_extends_structural(self, triangle_graph):
+        featurizer = MotifFeaturizer()
+        vector = featurizer.featurize([0, 1, 2], triangle_graph)
+        assert vector.shape == (featurizer.n_features,)
+        assert featurizer.n_features == 23
+
+    def test_clustering_component(self, triangle_graph):
+        # In a triangle every node has clustering coefficient 1.
+        vector = MotifFeaturizer().featurize([0, 1, 2], triangle_graph)
+        # last ten slots: common-neighbor stats (5) + clustering stats (5);
+        # clustering mean is slot -4.
+        assert vector[-4] == pytest.approx(1.0)
+
+
+class TestShyreSupervised:
+    @pytest.fixture
+    def split_data(self):
+        hypergraph = random_hypergraph(seed=8, n_nodes=25, n_edges=50)
+        source, target = split_source_target(hypergraph, seed=0)
+        return source, target, project(target)
+
+    @pytest.mark.parametrize("cls", [ShyreCount, ShyreMotif])
+    def test_reconstruct_before_fit_raises(self, cls, triangle_graph):
+        with pytest.raises(RuntimeError):
+            cls(seed=0).reconstruct(triangle_graph)
+
+    @pytest.mark.parametrize("cls", [ShyreCount, ShyreMotif])
+    def test_outputs_are_cliques_of_target(self, cls, split_data):
+        source, target, target_graph = split_data
+        method = cls(seed=0, max_epochs=30)
+        reconstruction = method.fit_reconstruct(source, target_graph)
+        for edge in reconstruction:
+            assert is_clique(target_graph, edge)
+
+    def test_rho_is_learned(self, split_data):
+        source, _, _ = split_data
+        method = ShyreCount(seed=0, max_epochs=20)
+        method.fit(source)
+        assert method.rho_
+        assert all(v > 0 for v in method.rho_.values())
+
+    def test_empty_source_raises(self):
+        with pytest.raises(ValueError):
+            ShyreCount(seed=0).fit(Hypergraph())
+
+    def test_sampling_misses_possible(self):
+        """SHyRe's known weakness: unsampled hyperedges are missed.
+
+        On a dataset of disjoint recurring triangles SHyRe does fine; the
+        test just documents that its output is a *subset* of candidates
+        drawn from maximal cliques.
+        """
+        hypergraph = Hypergraph()
+        for base in range(0, 30, 3):
+            hypergraph.add([base, base + 1, base + 2])
+        source, target = split_source_target(hypergraph, seed=0)
+        method = ShyreCount(seed=0, max_epochs=30)
+        reconstruction = method.fit_reconstruct(source, project(target))
+        target_graph = project(target)
+        for edge in reconstruction:
+            assert is_clique(target_graph, edge)
+
+
+class TestShyreUnsup:
+    def test_rank_prefers_larger_cliques(self, triangle_graph):
+        big = frozenset({0, 1, 2})
+        small = frozenset({0, 1})
+        assert _rank_key(big, triangle_graph) < _rank_key(small, triangle_graph)
+
+    def test_rank_prefers_lower_multiplicity_at_same_size(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1, 1)
+        graph.add_edge(2, 3, 9)
+        light = frozenset({0, 1})
+        heavy = frozenset({2, 3})
+        assert _rank_key(light, graph) < _rank_key(heavy, graph)
+
+    def test_consumes_all_multiplicity(self):
+        hypergraph = random_hypergraph(seed=4, n_nodes=15, n_edges=25)
+        graph = project(hypergraph)
+        reconstruction = ShyreUnsup().reconstruct(graph)
+        assert project(reconstruction) == graph
+
+    def test_perfect_on_disjoint_cliques(self):
+        hypergraph = Hypergraph(edges=[[0, 1, 2], [3, 4, 5, 6], [7, 8]])
+        graph = project(hypergraph)
+        reconstruction = ShyreUnsup().reconstruct(graph)
+        assert jaccard_similarity(hypergraph, reconstruction) == 1.0
+
+    def test_input_not_mutated(self, paper_figure3_graph):
+        before = paper_figure3_graph.copy()
+        ShyreUnsup().reconstruct(paper_figure3_graph)
+        assert paper_figure3_graph == before

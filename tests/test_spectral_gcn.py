@@ -1,0 +1,139 @@
+"""Unit tests for spectral embeddings and the GCN link embedder."""
+
+import numpy as np
+import pytest
+
+from repro.hypergraph.graph import WeightedGraph
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.ml.gcn import GCNLinkEmbedder
+from repro.ml.metrics import roc_auc_score
+from repro.ml.spectral import (
+    graph_adjacency,
+    graph_spectral_embedding,
+    hypergraph_incidence,
+    hypergraph_spectral_embedding,
+)
+
+
+def two_cliques_graph(bridge=True):
+    from itertools import combinations
+
+    graph = WeightedGraph()
+    for u, v in combinations(range(5), 2):
+        graph.add_edge(u, v)
+    for u, v in combinations(range(5, 10), 2):
+        graph.add_edge(u, v)
+    if bridge:
+        graph.add_edge(4, 5)
+    return graph
+
+
+class TestAdjacencyIncidence:
+    def test_adjacency_symmetric(self, triangle_graph):
+        adjacency, ordered = graph_adjacency(triangle_graph)
+        dense = adjacency.toarray()
+        np.testing.assert_array_equal(dense, dense.T)
+        assert ordered == [0, 1, 2]
+
+    def test_adjacency_weights(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1, 7)
+        adjacency, _ = graph_adjacency(graph)
+        assert adjacency[0, 1] == 7.0
+
+    def test_incidence_shape(self, small_hypergraph):
+        incidence, ordered, weights = hypergraph_incidence(small_hypergraph)
+        assert incidence.shape == (7, 4)
+        assert len(weights) == 4
+
+    def test_incidence_weights_are_multiplicities(self, small_hypergraph):
+        _, _, weights = hypergraph_incidence(small_hypergraph)
+        assert sorted(weights) == [1.0, 1.0, 1.0, 2.0]
+
+
+class TestSpectralEmbedding:
+    def test_graph_embedding_shape(self):
+        graph = two_cliques_graph()
+        embedding, ordered = graph_spectral_embedding(graph, dimensions=4)
+        assert embedding.shape == (10, 4)
+        assert len(ordered) == 10
+
+    def test_graph_embedding_separates_communities(self):
+        graph = two_cliques_graph()
+        embedding, ordered = graph_spectral_embedding(graph, dimensions=2)
+        # Column 0 is the trivial eigenvector; column 1 is the Fiedler
+        # coordinate, which separates the two cliques by sign.
+        first = embedding[:5, 1]
+        second = embedding[5:, 1]
+        assert (first.mean() < 0) != (second.mean() < 0)
+
+    def test_hypergraph_embedding_shape(self, small_hypergraph):
+        embedding, ordered = hypergraph_spectral_embedding(
+            small_hypergraph, dimensions=3
+        )
+        assert embedding.shape == (7, 3)
+
+    def test_empty_hypergraph_embedding(self):
+        hypergraph = Hypergraph(nodes=[0, 1, 2])
+        embedding, ordered = hypergraph_spectral_embedding(hypergraph, dimensions=2)
+        assert embedding.shape == (3, 2)
+        np.testing.assert_array_equal(embedding, 0.0)
+
+    def test_tiny_graph_pads_dimensions(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1)
+        embedding, _ = graph_spectral_embedding(graph, dimensions=5)
+        assert embedding.shape == (2, 5)
+
+
+class TestGCNLinkEmbedder:
+    def _pairs_and_labels(self, graph, seed=0):
+        rng = np.random.default_rng(seed)
+        edges = sorted(graph.edges())
+        nodes = sorted(graph.nodes)
+        non_edges = []
+        while len(non_edges) < len(edges):
+            u, v = rng.choice(len(nodes), 2, replace=False)
+            pair = (nodes[min(u, v)], nodes[max(u, v)])
+            if not graph.has_edge(*pair) and pair not in non_edges:
+                non_edges.append(pair)
+        pairs = edges + non_edges
+        labels = [1] * len(edges) + [0] * len(non_edges)
+        return pairs, labels
+
+    def test_embed_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GCNLinkEmbedder().embed_pairs([(0, 1)])
+
+    def test_embedding_shape(self):
+        graph = two_cliques_graph()
+        pairs, labels = self._pairs_and_labels(graph)
+        embedder = GCNLinkEmbedder(embedding_size=8, epochs=20, seed=0)
+        embedder.fit(graph, pairs, labels)
+        matrix = embedder.embed_pairs(pairs[:3])
+        assert matrix.shape == (3, 16)
+
+    def test_pooling_is_order_invariant(self):
+        graph = two_cliques_graph()
+        pairs, labels = self._pairs_and_labels(graph)
+        embedder = GCNLinkEmbedder(epochs=10, seed=0).fit(graph, pairs, labels)
+        forward = embedder.embed_pairs([(0, 1)])
+        backward = embedder.embed_pairs([(1, 0)])
+        np.testing.assert_allclose(forward, backward)
+
+    def test_learns_link_structure(self):
+        graph = two_cliques_graph()
+        pairs, labels = self._pairs_and_labels(graph)
+        embedder = GCNLinkEmbedder(epochs=150, seed=0).fit(graph, pairs, labels)
+        features = embedder.embed_pairs(pairs)
+        # Score pairs with a probe trained on the pooled embeddings; the
+        # embedder was optimized on these labels, so the probe should
+        # rank edges well above non-edges.
+        from repro.ml.mlp import MLPClassifier
+
+        probe = MLPClassifier(
+            hidden_sizes=(16,), learning_rate=1e-2, max_epochs=300, seed=0
+        )
+        probe.fit(features, np.asarray(labels))
+        auc = roc_auc_score(labels, probe.predict_score(features))
+        assert auc > 0.75

@@ -1,0 +1,92 @@
+"""Unit tests for storage analysis and Table I statistics."""
+
+import pytest
+
+from repro.datasets import load
+from repro.datasets.hypercl import hypercl
+from repro.datasets.stats import table_one_stats
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.metrics.storage import (
+    StorageReport,
+    graph_storage_cost,
+    hypergraph_storage_cost,
+    storage_report,
+)
+
+
+class TestStorageCosts:
+    def test_hypergraph_cost_counts_members_plus_header(self):
+        hypergraph = Hypergraph(edges=[[0, 1, 2], [3, 4]])
+        # (3 + 1) + (2 + 1)
+        assert hypergraph_storage_cost(hypergraph) == 7
+
+    def test_multiplicity_is_one_header_slot(self):
+        hypergraph = Hypergraph()
+        hypergraph.add([0, 1], multiplicity=9)
+        assert hypergraph_storage_cost(hypergraph) == 3
+
+    def test_graph_cost(self, triangle_graph):
+        assert graph_storage_cost(triangle_graph) == 9
+
+    def test_large_clique_saves(self):
+        hypergraph = Hypergraph(edges=[list(range(10))])
+        report = storage_report(hypergraph)
+        # 10 + 1 records vs 3 * C(10, 2) = 135.
+        assert report.hypergraph_cost == 11
+        assert report.graph_cost == 135
+        assert report.savings_ratio > 0.9
+        assert report.compression_factor > 10
+
+    def test_pair_data_does_not_save(self):
+        hypergraph = Hypergraph(edges=[[0, 1], [2, 3]])
+        report = storage_report(hypergraph)
+        assert report.savings_ratio == 0.0
+
+    def test_savings_grow_with_hyperedge_size(self):
+        ratios = []
+        for size in (3, 6, 9):
+            hypergraph = hypercl([1.0] * 40, [size] * 20, seed=0)
+            ratios.append(storage_report(hypergraph).savings_ratio)
+        assert ratios == sorted(ratios)
+
+    def test_empty_report_edge_cases(self):
+        empty = StorageReport(hypergraph_cost=0, graph_cost=0)
+        assert empty.savings_ratio == 0.0
+        assert empty.compression_factor == 1.0
+        assert StorageReport(0, 5).compression_factor == float("inf")
+
+
+class TestTableOneStats:
+    def test_counts(self, small_hypergraph):
+        stats = table_one_stats(small_hypergraph)
+        assert stats.num_nodes == 7
+        assert stats.num_unique_hyperedges == 4
+        assert stats.avg_hyperedge_multiplicity == pytest.approx(5 / 4)
+
+    def test_edge_multiplicity_average(self):
+        hypergraph = Hypergraph()
+        hypergraph.add([0, 1], multiplicity=3)
+        hypergraph.add([2, 3])
+        stats = table_one_stats(hypergraph)
+        assert stats.num_projected_edges == 2
+        assert stats.avg_edge_multiplicity == pytest.approx(2.0)
+
+    def test_empty_hypergraph(self):
+        stats = table_one_stats(Hypergraph())
+        assert stats.num_nodes == 0
+        assert stats.avg_hyperedge_multiplicity == 0.0
+        assert stats.avg_edge_multiplicity == 0.0
+
+    def test_as_row_mentions_name(self, small_hypergraph):
+        assert "demo" in table_one_stats(small_hypergraph).as_row("demo")
+
+    def test_registry_regimes_match_design(self):
+        """Dense analogues must show higher avg multiplicities than
+        near-simple analogues - the Table I calibration target."""
+        dense = table_one_stats(load("hschool", seed=0).hypergraph)
+        sparse = table_one_stats(load("foursquare", seed=0).hypergraph)
+        assert (
+            dense.avg_hyperedge_multiplicity
+            > 2 * sparse.avg_hyperedge_multiplicity
+        )
+        assert dense.avg_edge_multiplicity > 2 * sparse.avg_edge_multiplicity

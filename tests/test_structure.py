@@ -1,0 +1,139 @@
+"""Unit tests for structural-property metrics (Table IV machinery)."""
+
+import pytest
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.metrics.structure import (
+    DISTRIBUTIONAL_PROPERTIES,
+    SCALAR_PROPERTIES,
+    distributional_properties,
+    hypergraph_density,
+    hypergraph_overlapness,
+    ks_statistic,
+    node_pair_degree_distribution,
+    normalized_difference,
+    scalar_properties,
+    simplicial_closure_ratio,
+    singular_value_distribution,
+    structure_preservation_report,
+)
+from tests.conftest import random_hypergraph
+
+
+class TestNormalizedDifference:
+    def test_equal_values(self):
+        assert normalized_difference(5.0, 5.0) == 0.0
+
+    def test_both_zero(self):
+        assert normalized_difference(0.0, 0.0) == 0.0
+
+    def test_ratio(self):
+        assert normalized_difference(2.0, 8.0) == pytest.approx(0.75)
+
+    def test_symmetric(self):
+        assert normalized_difference(3.0, 7.0) == normalized_difference(7.0, 3.0)
+
+
+class TestKSStatistic:
+    def test_identical_samples(self):
+        assert ks_statistic([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_disjoint_supports(self):
+        assert ks_statistic([0, 0, 0], [10, 10, 10]) == 1.0
+
+    def test_empty_vs_nonempty(self):
+        assert ks_statistic([], [1, 2]) == 1.0
+
+    def test_both_empty(self):
+        assert ks_statistic([], []) == 0.0
+
+    def test_bounded(self):
+        value = ks_statistic([1, 2, 2, 5], [2, 3, 4])
+        assert 0.0 <= value <= 1.0
+
+    def test_known_value(self):
+        # CDFs diverge maximally by 0.5 at x in [1, 2).
+        assert ks_statistic([1, 1], [2, 2]) == 1.0
+        assert ks_statistic([1, 2], [2, 2]) == 0.5
+
+
+class TestScalarProperties:
+    def test_simplicial_closure_all_closed(self):
+        hypergraph = Hypergraph(edges=[[0, 1, 2]])
+        assert simplicial_closure_ratio(hypergraph) == 1.0
+
+    def test_simplicial_closure_open_triangle(self):
+        hypergraph = Hypergraph(edges=[[0, 1], [1, 2], [0, 2]])
+        assert simplicial_closure_ratio(hypergraph) == 0.0
+
+    def test_simplicial_closure_no_triangles(self):
+        hypergraph = Hypergraph(edges=[[0, 1], [2, 3]])
+        assert simplicial_closure_ratio(hypergraph) == 0.0
+
+    def test_density(self):
+        hypergraph = Hypergraph(edges=[[0, 1], [1, 2], [2, 3]])
+        assert hypergraph_density(hypergraph) == pytest.approx(3 / 4)
+
+    def test_overlapness(self):
+        hypergraph = Hypergraph(edges=[[0, 1, 2], [2, 3]])
+        assert hypergraph_overlapness(hypergraph) == pytest.approx(5 / 4)
+
+    def test_all_properties_present(self, small_hypergraph):
+        values = scalar_properties(small_hypergraph)
+        assert set(values) == set(SCALAR_PROPERTIES)
+
+    def test_counts(self, small_hypergraph):
+        values = scalar_properties(small_hypergraph)
+        assert values["num_hyperedges"] == 4.0
+        assert values["num_nodes"] == 7.0
+
+    def test_empty_hypergraph(self):
+        values = scalar_properties(Hypergraph())
+        assert values["num_nodes"] == 0.0
+        assert values["avg_node_degree"] == 0.0
+
+
+class TestDistributionalProperties:
+    def test_all_properties_present(self, small_hypergraph):
+        values = distributional_properties(small_hypergraph)
+        assert set(values) == set(DISTRIBUTIONAL_PROPERTIES)
+
+    def test_pair_degree_counts_multiplicity(self):
+        hypergraph = Hypergraph()
+        hypergraph.add([0, 1], multiplicity=3)
+        assert node_pair_degree_distribution(hypergraph) == [3.0]
+
+    def test_triple_degrees_empty_for_pair_only(self):
+        hypergraph = Hypergraph(edges=[[0, 1], [1, 2]])
+        values = distributional_properties(hypergraph)
+        assert values["node_triple_degree"] == []
+
+    def test_singular_values_normalized(self, small_hypergraph):
+        values = singular_value_distribution(small_hypergraph)
+        assert values[0] == pytest.approx(1.0)
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_singular_values_empty_hypergraph(self):
+        assert singular_value_distribution(Hypergraph()) == []
+
+
+class TestReport:
+    def test_perfect_reconstruction_scores_zero(self, small_hypergraph):
+        report = structure_preservation_report(
+            small_hypergraph, small_hypergraph.copy()
+        )
+        for name in SCALAR_PROPERTIES + DISTRIBUTIONAL_PROPERTIES:
+            assert report[name] == pytest.approx(0.0)
+        assert report["average_overall"] == pytest.approx(0.0)
+
+    def test_bad_reconstruction_scores_high(self):
+        truth = random_hypergraph(seed=0, n_nodes=20, n_edges=30)
+        junk = Hypergraph(edges=[[100, 101]])
+        report = structure_preservation_report(truth, junk)
+        assert report["average_overall"] > 0.3
+
+    def test_report_keys(self, small_hypergraph):
+        report = structure_preservation_report(small_hypergraph, small_hypergraph)
+        expected = set(SCALAR_PROPERTIES + DISTRIBUTIONAL_PROPERTIES)
+        expected.add("average_overall")
+        assert set(report) == expected
