@@ -1,0 +1,86 @@
+"""Hot-path microbenchmarks feeding the performance trajectory.
+
+Times the three kernels the vectorized overhaul targets - batch clique
+featurization, batch MHH (Eq. 1), and the end-to-end MARIOH
+fit+reconstruct on the ``eu`` analogue - and emits a machine-readable
+``BENCH_hotpath.json`` under ``benchmarks/results/`` so successive PRs
+can track throughput.  Thresholds are ~10x below measured values; they
+only trip on order-of-magnitude regressions (e.g. the vectorized path
+silently falling back to the scalar loop).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit_json
+
+from repro.core.features import CliqueFeaturizer, StructuralFeaturizer
+from repro.core.marioh import MARIOH
+from repro.datasets import load
+from repro.experiments import run_method
+from repro.hypergraph.cliques import maximal_cliques_list
+
+
+def _throughput(fn, units: int, min_seconds: float = 0.5) -> float:
+    """Units processed per second, timed over at least ``min_seconds``."""
+    fn()  # warm caches
+    started = time.perf_counter()
+    rounds = 0
+    while time.perf_counter() - started < min_seconds:
+        fn()
+        rounds += 1
+    return units * rounds / (time.perf_counter() - started)
+
+
+def test_hotpath_microbench():
+    bundle = load("eu", seed=0)
+    graph = bundle.target_graph
+    cliques = maximal_cliques_list(graph)
+    snapshot = graph.snapshot()
+    edges = list(graph.edges())
+    a = snapshot.index_of(u for u, _ in edges)
+    b = snapshot.index_of(v for _, v in edges)
+
+    clique_featurizer = CliqueFeaturizer()
+    structural_featurizer = StructuralFeaturizer()
+    featurize_cps = _throughput(
+        lambda: clique_featurizer.featurize_many(cliques, graph), len(cliques)
+    )
+    structural_cps = _throughput(
+        lambda: structural_featurizer.featurize_many(cliques, graph),
+        len(cliques),
+    )
+    mhh_pps = _throughput(lambda: snapshot.batch_mhh(a, b), len(edges))
+
+    started = time.perf_counter()
+    result = run_method("MARIOH", bundle, seed=0)
+    end_to_end = time.perf_counter() - started
+
+    emit_json(
+        "BENCH_hotpath",
+        {
+            "dataset": "eu",
+            "n_cliques": len(cliques),
+            "n_edges": len(edges),
+            "featurize_many_cliques_per_s": round(featurize_cps, 1),
+            "structural_featurize_many_cliques_per_s": round(
+                structural_cps, 1
+            ),
+            "batch_mhh_pairs_per_s": round(mhh_pps, 1),
+            "marioh_fit_reconstruct_s": round(result.runtime_seconds, 4),
+            "marioh_end_to_end_s": round(end_to_end, 4),
+        },
+    )
+
+    # Regression guards, at least ~10x under values measured on a dev
+    # laptop, so shared/slow CI runners only trip them on genuine
+    # order-of-magnitude regressions.
+    assert featurize_cps > 10_000, "featurize_many fell off the fast path"
+    assert mhh_pps > 30_000, "batch MHH fell off the fast path"
+    assert result.runtime_seconds < 2.0, "end-to-end eu run regressed >20x"
+
+
+def test_hotpath_engine_default_is_incremental():
+    """The microbench tracks the shipped configuration."""
+    assert MARIOH().engine == "incremental"

@@ -8,6 +8,7 @@ inspectable artifact even though pytest captures stdout.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -18,3 +19,17 @@ def emit(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
     print(f"\n{text}\n")
+
+
+def emit_json(name: str, payload: dict) -> None:
+    """Persist a machine-readable result to benchmarks/results/<name>.json.
+
+    Used to seed the performance trajectory: each run leaves a metrics
+    file that CI (or a later session) can diff against.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"\n[{name}] {json.dumps(payload, sort_keys=True)}\n")

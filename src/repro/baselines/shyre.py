@@ -23,7 +23,13 @@ import numpy as np
 
 from repro.baselines.base import Reconstructor
 from repro.core.classifier import sample_negative_cliques
-from repro.core.features import StructuralFeaturizer, _five_stats
+from repro.core.features import (
+    StructuralFeaturizer,
+    _five_stats,
+    _grouped_five_stats,
+    _prepare_batch,
+    _structural_feature_matrix,
+)
 from repro.hypergraph.cliques import Clique, maximal_cliques_list
 from repro.hypergraph.graph import WeightedGraph
 from repro.hypergraph.hypergraph import Hypergraph
@@ -69,6 +75,64 @@ class MotifFeaturizer(StructuralFeaturizer):
 
         extra = _five_stats(common_counts) + _five_stats(clustering)
         return np.concatenate([base, np.asarray(extra)])
+
+    def featurize_many(self, cliques, graph, reference_graph=None):
+        """Vectorized batch path mirroring the scalar ``featurize``.
+
+        The base 13 columns come from the shared structural kernel; the
+        motif extras reuse the same unique-pair table: common-neighbor
+        counts per clique edge, and per-node clustering coefficients
+        computed once per unique member node via batched neighbor
+        intersections.
+        """
+        if not cliques:
+            return np.zeros((0, self.n_features))
+        if type(self).featurize is not MotifFeaturizer.featurize:
+            # A subclass customized the per-clique features; fall back to
+            # the scalar path so its override keeps applying.
+            return np.vstack(
+                [self.featurize(clique, graph, reference_graph) for clique in cliques]
+            )
+        batch = _prepare_batch(cliques, graph)
+        base = _structural_feature_matrix(
+            cliques, graph, reference_graph, batch=batch
+        )
+        snapshot = batch.snapshot
+
+        unique_common = snapshot.batch_common_neighbor_counts(
+            batch.ua, batch.ub
+        ).astype(np.float64)
+        common_stats = _grouped_five_stats(
+            unique_common[batch.inverse], batch.pair_offsets, batch.pair_counts
+        )
+
+        # Clustering coefficient per unique member node: the number of
+        # edges among N(u) equals half the sum of |N(u) ∩ N(z)| over
+        # z in N(u), so c(u) = 2*links/(d(d-1)) = sum/(d(d-1)).
+        coeff_by_row = np.zeros(snapshot.num_nodes + 1)
+        unique_rows = np.unique(batch.node_idx)
+        unique_rows = unique_rows[unique_rows < snapshot.num_nodes]
+        if len(unique_rows):
+            flat, owner = snapshot.expand_rows(unique_rows)
+            if len(flat):
+                inter = snapshot.batch_common_neighbor_counts(
+                    unique_rows[owner], snapshot.nbr[flat]
+                )
+                link_sums = np.bincount(
+                    owner, weights=inter, minlength=len(unique_rows)
+                )
+                degrees = snapshot.degrees[unique_rows]
+                denominator = degrees * (degrees - 1)
+                coeff_by_row[unique_rows] = np.divide(
+                    link_sums,
+                    denominator,
+                    out=np.zeros(len(unique_rows)),
+                    where=denominator > 0,
+                )
+        clustering_stats = _grouped_five_stats(
+            coeff_by_row[batch.node_idx], batch.node_offsets, batch.sizes
+        )
+        return np.hstack([base, common_stats, clustering_stats])
 
 
 class _ShyreBase(Reconstructor):

@@ -15,18 +15,27 @@ features, giving 5 + 3*5 + 3 = 23 dimensions.
 :class:`StructuralFeaturizer` is the multiplicity-oblivious featurizer
 (SHyRe-Count style) that the MARIOH-M ablation and the SHyRe baselines
 use: connectivity-only statistics of the clique and its boundary.
+
+``featurize`` is the scalar reference implementation; ``featurize_many``
+is the hot path and computes the whole batch with numpy kernels: one
+table of *unique* node pairs per batch, edge weights / MHH (Eq. 1) /
+Jaccard overlaps looked up against the graph's CSR snapshot, grouped
+``reduceat`` reductions for the 5-stat summaries, and maximality checks
+against the reference graph's cached neighbor sets.  Parity between the
+two paths is covered by property tests (``tests/test_featurizer_parity``).
 """
 
 from __future__ import annotations
 
+import dataclasses
 from itertools import combinations
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.filtering import mhh
 from repro.hypergraph.cliques import Clique, is_maximal_clique
-from repro.hypergraph.graph import WeightedGraph
+from repro.hypergraph.graph import GraphSnapshot, WeightedGraph
 
 
 def _five_stats(values: Sequence[float]) -> List[float]:
@@ -39,6 +48,211 @@ def _five_stats(values: Sequence[float]) -> List[float]:
         float(array.max()),
         float(array.std()),
     ]
+
+
+def _grouped_five_stats(
+    values: np.ndarray, offsets: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """Per-group (sum, mean, min, max, std) over contiguous groups.
+
+    ``offsets`` are the group start positions into ``values`` and every
+    group is non-empty (cliques have >= 2 members and >= 1 pair).
+    """
+    sums = np.add.reduceat(values, offsets)
+    means = sums / counts
+    mins = np.minimum.reduceat(values, offsets)
+    maxs = np.maximum.reduceat(values, offsets)
+    centered = values - np.repeat(means, counts)
+    stds = np.sqrt(np.add.reduceat(centered * centered, offsets) / counts)
+    return np.column_stack([sums, means, mins, maxs, stds])
+
+
+@dataclasses.dataclass(frozen=True)
+class _CliqueBatch:
+    """Shared index tables for one ``featurize_many`` batch.
+
+    Pairs are deduplicated across the batch: candidate cliques overlap
+    heavily (maximal cliques plus their sub-cliques), so per-pair
+    quantities are computed once on the ``(ua, ub)`` unique-pair table
+    and scattered back through ``inverse``.
+    """
+
+    snapshot: GraphSnapshot
+    members_list: List[List[int]]  #: sorted, deduplicated member ids
+    sizes: np.ndarray  #: (n,) member count per clique
+    node_idx: np.ndarray  #: concatenated member row indices
+    node_offsets: np.ndarray  #: group starts into ``node_idx``
+    pair_counts: np.ndarray  #: (n,) pair count per clique
+    pair_offsets: np.ndarray  #: group starts into the pair slots
+    inverse: np.ndarray  #: pair slot -> unique-pair row
+    ua: np.ndarray  #: unique-pair first row index
+    ub: np.ndarray  #: unique-pair second row index
+
+
+_TRIU_CACHE: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _triu_indices(k: int) -> Tuple[np.ndarray, np.ndarray]:
+    cached = _TRIU_CACHE.get(k)
+    if cached is None:
+        cached = np.triu_indices(k, 1)
+        _TRIU_CACHE[k] = cached
+    return cached
+
+
+def _prepare_batch(
+    cliques: Sequence[Clique], graph: WeightedGraph
+) -> _CliqueBatch:
+    snapshot = graph.snapshot()
+    # Candidates are re-scored every search iteration while the node set
+    # (and hence every row index) stays fixed, so member lists and row
+    # lookups are cached on the graph across edge mutations.
+    rows_cache = graph.clique_rows_cache()
+    members_list: List[List[int]] = []
+    rows_list: List[np.ndarray] = []
+    for clique in cliques:
+        entry = rows_cache.get(clique) if isinstance(clique, frozenset) else None
+        if entry is None:
+            members = sorted(set(clique))
+            if len(members) < 2:
+                raise ValueError(f"cliques need >= 2 nodes, got {members}")
+            entry = (members, snapshot.index_of(members))
+            if isinstance(clique, frozenset):
+                rows_cache[clique] = entry
+        members_list.append(entry[0])
+        rows_list.append(entry[1])
+    sizes = np.fromiter(
+        (len(m) for m in members_list), dtype=np.int64, count=len(members_list)
+    )
+    node_idx = np.concatenate(rows_list)
+    node_ends = np.cumsum(sizes)
+    node_offsets = node_ends - sizes
+    pair_counts = sizes * (sizes - 1) // 2
+    pair_ends = np.cumsum(pair_counts)
+    pair_offsets = pair_ends - pair_counts
+    n_pairs = int(pair_ends[-1])
+    pu = np.empty(n_pairs, dtype=np.int64)
+    pv = np.empty(n_pairs, dtype=np.int64)
+    # One gather/scatter per distinct clique size instead of per clique.
+    for k in np.unique(sizes):
+        k = int(k)
+        at = np.flatnonzero(sizes == k)
+        iu, iv = _triu_indices(k)
+        rows = node_idx[node_offsets[at][:, None] + np.arange(k)]
+        dest = (
+            pair_offsets[at][:, None] + np.arange(k * (k - 1) // 2)
+        ).ravel()
+        pu[dest] = rows[:, iu].ravel()
+        pv[dest] = rows[:, iv].ravel()
+    unique_keys, inverse = np.unique(
+        pu * snapshot.key_base + pv, return_inverse=True
+    )
+    return _CliqueBatch(
+        snapshot=snapshot,
+        members_list=members_list,
+        sizes=sizes,
+        node_idx=node_idx,
+        node_offsets=node_offsets,
+        pair_counts=pair_counts,
+        pair_offsets=pair_offsets,
+        inverse=inverse,
+        ua=unique_keys // snapshot.key_base,
+        ub=unique_keys % snapshot.key_base,
+    )
+
+
+def _maximality_flags(
+    reference: WeightedGraph, members_list: Sequence[Sequence[int]]
+) -> np.ndarray:
+    """Maximality indicator per clique, measured on ``reference``.
+
+    ``reference`` is immutable for the duration of a scoring batch (and,
+    in the reconstruction loop, for the whole ``reconstruct()`` call),
+    so its cached neighbor sets are shared across every check and the
+    per-clique verdicts are memoized until the graph next mutates -
+    candidates that survive across search iterations are re-scored many
+    times but resolve their flag once.
+    """
+    reference.neighbor_sets()  # build the cache once, outside the loop
+    memo = reference.maximality_memo()
+    flags = np.zeros(len(members_list), dtype=np.float64)
+    for i, members in enumerate(members_list):
+        key = tuple(members)
+        flag = memo.get(key)
+        if flag is None:
+            flag = 1.0 if is_maximal_clique(reference, members) else 0.0
+            memo[key] = flag
+        flags[i] = flag
+    return flags
+
+
+def _structural_feature_matrix(
+    cliques: Sequence[Clique],
+    graph: WeightedGraph,
+    reference_graph: WeightedGraph = None,
+    batch: "_CliqueBatch" = None,
+) -> np.ndarray:
+    """Vectorized 13-dim connectivity-only feature matrix.
+
+    Module-level so :class:`~repro.baselines.shyre.MotifFeaturizer` can
+    reuse it for its base columns regardless of method overrides;
+    callers that already built the batch tables pass them via ``batch``.
+    """
+    if batch is None:
+        batch = _prepare_batch(cliques, graph)
+    snapshot = batch.snapshot
+    reference = reference_graph if reference_graph is not None else graph
+
+    degrees = snapshot.degrees.astype(np.float64)
+    degree_stats = _grouped_five_stats(
+        degrees[batch.node_idx], batch.node_offsets, batch.sizes
+    )
+
+    inter = snapshot.batch_common_neighbor_counts(batch.ua, batch.ub).astype(
+        np.float64
+    )
+    union = degrees[batch.ua] + degrees[batch.ub] - inter
+    unique_overlap = np.divide(
+        inter, union, out=np.zeros_like(inter), where=union > 0
+    )
+    overlap_stats = _grouped_five_stats(
+        unique_overlap[batch.inverse], batch.pair_offsets, batch.pair_counts
+    )
+
+    sizes = batch.sizes.astype(np.float64)
+    boundary = _boundary_counts(batch)
+    boundary_ratio = sizes / (sizes + boundary)
+    maximal = _maximality_flags(reference, batch.members_list)
+    return np.column_stack(
+        [degree_stats, overlap_stats, sizes, boundary_ratio, maximal]
+    )
+
+
+def _boundary_counts(batch: _CliqueBatch) -> np.ndarray:
+    """Per clique, the number of distinct outside neighbors of its members."""
+    snapshot = batch.snapshot
+    n = len(batch.sizes)
+    member_clique = np.repeat(np.arange(n, dtype=np.int64), batch.sizes)
+    flat, owner = snapshot.expand_rows(batch.node_idx)
+    if len(flat) == 0:
+        return np.zeros(n, dtype=np.float64)
+    neighborhood_keys = member_clique[owner] * snapshot.key_base + (
+        snapshot.nbr[flat]
+    )
+    unique_keys = np.unique(neighborhood_keys)
+    distinct = np.bincount(
+        unique_keys // snapshot.key_base, minlength=n
+    ).astype(np.float64)
+    # Members that appear inside the neighborhood union must not count
+    # towards the boundary.
+    member_keys = member_clique * snapshot.key_base + batch.node_idx
+    pos = np.searchsorted(unique_keys, member_keys)
+    pos = np.minimum(pos, len(unique_keys) - 1)
+    present = unique_keys[pos] == member_keys
+    in_union = np.bincount(member_clique[present], minlength=n).astype(
+        np.float64
+    )
+    return distinct - in_union
 
 
 class CliqueFeaturizer:
@@ -56,11 +270,13 @@ class CliqueFeaturizer:
     ) -> np.ndarray:
         """Feature vector for ``clique`` measured on ``graph``.
 
-        ``reference_graph`` is the graph against which the maximality
-        indicator is evaluated (the paper uses the original projected
-        graph ``G``); it defaults to ``graph``.  ``_mhh_cache`` is an
-        optional per-batch memo of edge MHH values - overlapping cliques
-        share edges, and MHH is the hot path (see ``featurize_many``).
+        This is the scalar reference implementation; ``featurize_many``
+        is the vectorized hot path.  ``reference_graph`` is the graph
+        against which the maximality indicator is evaluated (the paper
+        uses the original projected graph ``G``); it defaults to
+        ``graph``.  ``_mhh_cache`` is an optional per-batch memo of edge
+        MHH values - overlapping cliques share edges, and MHH dominates
+        the per-clique cost.
         """
         members = sorted(set(clique))
         if len(members) < 2:
@@ -112,17 +328,71 @@ class CliqueFeaturizer:
     ) -> np.ndarray:
         """Stack features for several cliques, shape (n, 23).
 
-        Edge MHH values are memoized across the batch: candidate cliques
-        overlap heavily (maximal cliques plus their sub-cliques), so each
-        edge's Eq. (1) sum is computed once instead of once per clique.
+        One vectorized pass: per-pair quantities (edge weight, MHH,
+        portion) are computed once per *unique* node pair of the batch
+        against the graph's CSR snapshot, then scattered to pair slots
+        and reduced per clique with grouped ``reduceat`` kernels.
         """
         if not cliques:
             return np.zeros((0, self.n_features))
-        mhh_cache: dict = {}
-        return np.vstack(
+        if type(self).featurize is not CliqueFeaturizer.featurize:
+            # A subclass customized the per-clique features; fall back to
+            # the scalar path so its override keeps applying.
+            mhh_cache: dict = {}
+            return np.vstack(
+                [
+                    self.featurize(
+                        clique, graph, reference_graph, _mhh_cache=mhh_cache
+                    )
+                    for clique in cliques
+                ]
+            )
+        batch = _prepare_batch(cliques, graph)
+        snapshot = batch.snapshot
+        reference = reference_graph if reference_graph is not None else graph
+
+        node_stats = _grouped_five_stats(
+            snapshot.weighted_degrees[batch.node_idx],
+            batch.node_offsets,
+            batch.sizes,
+        )
+
+        unique_weights = snapshot.pair_weights(batch.ua, batch.ub)
+        unique_mhh = snapshot.batch_mhh(batch.ua, batch.ub)
+        weights = unique_weights[batch.inverse]
+        mhh_values = unique_mhh[batch.inverse]
+        portions = np.divide(
+            mhh_values, weights, out=np.zeros_like(mhh_values), where=weights > 0
+        )
+        weight_stats = _grouped_five_stats(
+            weights, batch.pair_offsets, batch.pair_counts
+        )
+        mhh_stats = _grouped_five_stats(
+            mhh_values, batch.pair_offsets, batch.pair_counts
+        )
+        portion_stats = _grouped_five_stats(
+            portions, batch.pair_offsets, batch.pair_counts
+        )
+
+        internal = weight_stats[:, 0]
+        total = node_stats[:, 0]  # counts internal edges twice
+        denominator = total - internal  # == internal + boundary weight
+        cut_ratio = np.divide(
+            internal,
+            denominator,
+            out=np.zeros_like(internal),
+            where=denominator > 0,
+        )
+        maximal = _maximality_flags(reference, batch.members_list)
+        return np.column_stack(
             [
-                self.featurize(clique, graph, reference_graph, _mhh_cache=mhh_cache)
-                for clique in cliques
+                node_stats,
+                weight_stats,
+                mhh_stats,
+                portion_stats,
+                batch.sizes.astype(np.float64),
+                cut_ratio,
+                maximal,
             ]
         )
 
@@ -185,6 +455,10 @@ class StructuralFeaturizer:
     ) -> np.ndarray:
         if not cliques:
             return np.zeros((0, self.n_features))
-        return np.vstack(
-            [self.featurize(clique, graph, reference_graph) for clique in cliques]
-        )
+        if type(self).featurize is not StructuralFeaturizer.featurize:
+            # A subclass customized the per-clique features; fall back to
+            # the scalar path so its override keeps applying.
+            return np.vstack(
+                [self.featurize(clique, graph, reference_graph) for clique in cliques]
+            )
+        return _structural_feature_matrix(cliques, graph, reference_graph)

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Tuple
 
+import numpy as np
+
 from repro.hypergraph.graph import Node, WeightedGraph
 from repro.hypergraph.hypergraph import Hypergraph
 
@@ -51,11 +53,23 @@ def filter_guaranteed_pairs(
 
     MHH values are computed against the *input* graph (as in the paper's
     pseudocode, line 3 reads ``G``'s weights), then applied to the copy.
+    All residuals come from one vectorized batch-MHH pass over the CSR
+    snapshot instead of E independent :func:`mhh` calls; the per-edge
+    updates commute, so the result is independent of edge order.
     """
     intermediate = graph.copy()
-    for u, v in list(graph.edges()):
-        residual = graph.weight(u, v) - mhh(graph, u, v)
-        if residual > 0:
-            reconstruction.add((u, v), multiplicity=residual)
-            intermediate.decrement_edge(u, v, residual)
+    snapshot = graph.snapshot()
+    if len(snapshot.keys) == 0:
+        return intermediate, reconstruction
+    rows = snapshot.keys // snapshot.key_base
+    cols = snapshot.keys % snapshot.key_base
+    upper = rows < cols  # each undirected edge once
+    a, b, weights = rows[upper], cols[upper], snapshot.wts[upper]
+    residuals = weights - snapshot.batch_mhh(a, b)
+    node_ids = snapshot.node_ids
+    for i in np.flatnonzero(residuals > 0):
+        u, v = int(node_ids[a[i]]), int(node_ids[b[i]])
+        residual = int(residuals[i])
+        reconstruction.add((u, v), multiplicity=residual)
+        intermediate.decrement_edge(u, v, residual)
     return intermediate, reconstruction

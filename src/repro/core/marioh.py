@@ -83,11 +83,12 @@ class MARIOH:
         guaranteed to terminate because every iteration with θ = 0
         converts at least one clique).
     engine:
-        ``"rescan"`` re-enumerates maximal cliques every iteration (the
-        paper's pseudocode, the reference implementation);
-        ``"incremental"`` maintains them with
-        :class:`~repro.core.pool.CliqueCandidatePool`, which is faster
-        on large sparse graphs and produces identical results.
+        ``"incremental"`` (the default) maintains the maximal cliques
+        with :class:`~repro.core.pool.CliqueCandidatePool` under edge
+        removals; ``"rescan"`` re-enumerates them every iteration (the
+        paper's pseudocode, kept as the reference implementation).  The
+        two engines produce identical reconstructions - equivalence is
+        enforced by the parity test suite.
     seed:
         Seeds classifier initialization and sub-clique sampling.
     """
@@ -102,7 +103,7 @@ class MARIOH:
         negative_ratio: float = 2.0,
         max_epochs: int = 150,
         max_iterations: Optional[int] = None,
-        engine: str = "rescan",
+        engine: str = "incremental",
         record_provenance: bool = False,
         seed: Optional[int] = None,
     ) -> None:
@@ -122,6 +123,9 @@ class MARIOH:
         self.r = r
         self.alpha = alpha
         self.variant = variant
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.negative_ratio = negative_ratio
+        self.max_epochs = max_epochs
         self.max_iterations = max_iterations
         self.engine = engine
         self.record_provenance = record_provenance
@@ -284,11 +288,14 @@ class MARIOH:
             raise RuntimeError("cannot save an unfitted model")
         payload = {
             "format": "repro-marioh",
-            "version": 1,
+            "version": 2,
             "theta_init": self.theta_init,
             "r": self.r,
             "alpha": self.alpha,
             "variant": self.variant,
+            "hidden_sizes": list(self.hidden_sizes),
+            "negative_ratio": self.negative_ratio,
+            "max_epochs": self.max_epochs,
             "engine": self.engine,
             "seed": self.seed,
             "classifier": self.classifier._mlp.to_dict(),
@@ -309,8 +316,18 @@ class MARIOH:
             raise ValueError(
                 f"not a MARIOH model file: format={payload.get('format')!r}"
             )
-        if payload.get("version") != 1:
-            raise ValueError(f"unsupported version {payload.get('version')!r}")
+        version = payload.get("version")
+        if version not in (1, 2):
+            raise ValueError(f"unsupported version {version!r}")
+        # Version 1 files predate classifier-hyperparameter persistence;
+        # they fall back to the constructor defaults.
+        classifier_kwargs = {}
+        if version >= 2:
+            classifier_kwargs = {
+                "hidden_sizes": tuple(payload["hidden_sizes"]),
+                "negative_ratio": payload["negative_ratio"],
+                "max_epochs": payload["max_epochs"],
+            }
         model = cls(
             theta_init=payload["theta_init"],
             r=payload["r"],
@@ -318,8 +335,14 @@ class MARIOH:
             variant=payload["variant"],
             engine=payload.get("engine", "rescan"),
             seed=payload.get("seed"),
+            **classifier_kwargs,
         )
         model.classifier._mlp = MLPClassifier.from_dict(payload["classifier"])
+        # from_dict restores architecture + weights but not training
+        # knobs; re-apply them so a re-fit after load behaves like the
+        # original model.
+        model.classifier._mlp.max_epochs = model.max_epochs
+        model.classifier._mlp.seed = model.seed
         return model
 
     def __repr__(self) -> str:

@@ -16,14 +16,17 @@ cliques up to date under edge *removals* using two facts:
 So after removals it suffices to (a) discard cliques containing a
 removed pair and (b) re-enumerate cliques inside the closed
 neighborhoods of removed-edge endpoints, keeping those that contain an
-endpoint and are maximal in the full graph.  The ``engine="rescan"``
-mode of :class:`~repro.core.marioh.MARIOH` remains the reference
-implementation; equivalence is covered by tests.
+endpoint and are maximal in the full graph.  Step (a) uses an inverted
+node -> cliques index, so it touches only the cliques through a removed
+endpoint instead of scanning the whole clique set, and the sorted view
+served to the search loop is cached between changes.  The
+``engine="rescan"`` mode of :class:`~repro.core.marioh.MARIOH` remains
+the reference implementation; equivalence is covered by tests.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.hypergraph.cliques import (
     Clique,
@@ -31,6 +34,8 @@ from repro.hypergraph.cliques import (
     maximal_cliques,
 )
 from repro.hypergraph.graph import Node, WeightedGraph
+
+_NO_CLIQUES: Set[Clique] = set()
 
 
 class CliqueCandidatePool:
@@ -45,11 +50,37 @@ class CliqueCandidatePool:
     def __init__(self, graph: WeightedGraph) -> None:
         self._graph = graph
         self._cliques: Set[Clique] = set(maximal_cliques(graph))
+        self._by_node: Dict[Node, Set[Clique]] = {}
+        self._sort_keys: Dict[Clique, Tuple[int, List[Node]]] = {}
+        for clique in self._cliques:
+            self._index_add(clique)
+        self._sorted: Optional[List[Clique]] = None
+
+    def _index_add(self, clique: Clique) -> None:
+        for node in clique:
+            self._by_node.setdefault(node, set()).add(clique)
+        if clique not in self._sort_keys:
+            self._sort_keys[clique] = (len(clique), sorted(clique))
+
+    def _index_discard(self, clique: Clique) -> None:
+        for node in clique:
+            bucket = self._by_node.get(node)
+            if bucket is not None:
+                bucket.discard(clique)
+        self._sort_keys.pop(clique, None)
 
     def current(self) -> List[Clique]:
         """The maximal cliques, sorted for deterministic iteration
-        (same order as :func:`maximal_cliques_list`)."""
-        return sorted(self._cliques, key=lambda c: (len(c), sorted(c)))
+        (same order as :func:`maximal_cliques_list`).
+
+        The sorted view is cached and only rebuilt after the clique set
+        changes, so iterations that convert nothing pay O(1) instead of
+        an O(C log C) re-sort.  Callers must not mutate the returned
+        list.
+        """
+        if self._sorted is None:
+            self._sorted = sorted(self._cliques, key=self._sort_keys.__getitem__)
+        return self._sorted
 
     def __len__(self) -> int:
         return len(self._cliques)
@@ -70,12 +101,20 @@ class CliqueCandidatePool:
         for pair in removed:
             endpoints.update(pair)
 
-        # (a) Broken cliques: any clique containing a removed pair.
-        self._cliques = {
-            clique
-            for clique in self._cliques
-            if not any(pair <= clique for pair in removed)
-        }
+        # (a) Broken cliques: any clique containing a removed pair.  The
+        # inverted index narrows the scan to cliques through a removed
+        # endpoint; a clique lies in by_node[u] & by_node[v] exactly
+        # when it contains the pair {u, v}.
+        broken: Set[Clique] = set()
+        for pair in removed:
+            u, v = tuple(pair)
+            broken |= self._by_node.get(u, _NO_CLIQUES) & self._by_node.get(
+                v, _NO_CLIQUES
+            )
+        changed = bool(broken)
+        for clique in broken:
+            self._cliques.discard(clique)
+            self._index_discard(clique)
 
         # (b) Newly maximal cliques all contain a removed-edge endpoint,
         # and any clique through a vertex lives inside its closed
@@ -88,8 +127,14 @@ class CliqueCandidatePool:
         for clique in maximal_cliques(subgraph):
             if not (clique & endpoints):
                 continue
+            if clique in self._cliques:
+                continue
             if is_maximal_clique(self._graph, clique):
                 self._cliques.add(clique)
+                self._index_add(clique)
+                changed = True
+        if changed:
+            self._sorted = None
 
     def matches_rescan(self) -> bool:
         """Debug helper: does the pool equal a fresh enumeration?"""

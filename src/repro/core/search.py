@@ -119,12 +119,17 @@ def bidirectional_search(
     cliques = pool.current() if pool is not None else maximal_cliques_list(graph)
     if not cliques:
         return graph, reconstruction, 0
-    scores = classifier.score(cliques, graph, reference_graph)
+    scores = np.asarray(
+        classifier.score(cliques, graph, reference_graph), dtype=np.float64
+    )
 
-    positive_indices = [i for i, s in enumerate(scores) if s > theta]
-    positive_indices.sort(key=lambda i: -scores[i])
-    remaining = [i for i, s in enumerate(scores) if s <= theta]
-    remaining.sort(key=lambda i: scores[i])
+    # Stable argsorts keep the tie order of the equivalent Python sorts:
+    # descending score (ties by index) for positives, ascending score
+    # (ties by index) for the negative tail.
+    descending = np.argsort(-scores, kind="stable")
+    positive_indices = descending[scores[descending] > theta].tolist()
+    ascending = np.argsort(scores, kind="stable")
+    remaining = ascending[scores[ascending] <= theta].tolist()
     n_negative = int(np.ceil(len(remaining) * r / 100.0))
     negative_indices = remaining[:n_negative]
 

@@ -10,7 +10,7 @@ limit.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Iterator, List, Set
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Set
 
 from repro.hypergraph.graph import Node, WeightedGraph
 
@@ -44,7 +44,10 @@ def maximal_cliques(graph: WeightedGraph) -> Iterator[Clique]:
     matter for reconstruction); single edges are reported as size-2
     cliques when maximal.
     """
-    neighbor_sets = {u: set(graph.neighbors(u)) for u in graph.nodes}
+    # The graph caches its neighbor sets (invalidated on mutation), so
+    # repeated enumerations between mutations share one snapshot.  The
+    # algorithm never mutates these sets.
+    neighbor_sets = graph.neighbor_sets()
 
     def adj(u: Node) -> Set[Node]:
         return neighbor_sets[u]
@@ -94,19 +97,37 @@ def maximal_cliques_list(graph: WeightedGraph) -> List[Clique]:
     return sorted(maximal_cliques(graph), key=lambda c: (len(c), sorted(c)))
 
 
+_EMPTY_SET: Set[Node] = set()
+
+
 def is_maximal_clique(graph: WeightedGraph, nodes: Iterable[Node]) -> bool:
-    """True iff ``nodes`` is a clique no neighbor can extend."""
-    members = set(nodes)
-    if not is_clique(graph, members):
-        return False
-    # A clique is maximal iff no outside vertex is adjacent to all members.
-    first = next(iter(members))
-    for candidate in graph.neighbors(first):
-        if candidate in members:
-            continue
-        if all(graph.has_edge(candidate, u) for u in members):
-            return False
-    return True
+    """True iff ``nodes`` is a clique no neighbor can extend.
+
+    Works off the graph's cached neighbor sets, so batched maximality
+    checks (every candidate of a scoring round) share one snapshot.
+    """
+    members = list(dict.fromkeys(nodes))
+    neighbor_sets = graph.neighbor_sets()
+    needed = len(members) - 1
+    member_sets = []
+    for u in members:
+        adjacent = neighbor_sets.get(u, _EMPTY_SET)
+        if len(adjacent) < needed:
+            return False  # cannot be adjacent to every other member
+        member_sets.append(adjacent)
+    for i, u_set in enumerate(member_sets):
+        for v in members[i + 1 :]:
+            if v not in u_set:
+                return False
+    # A clique is maximal iff no outside vertex is adjacent to all
+    # members; such a vertex lies in the intersection of every member's
+    # neighbor set (which never contains a member itself).
+    common: Optional[Set[Node]] = None
+    for adjacent in member_sets:
+        common = set(adjacent) if common is None else common & adjacent
+        if not common:
+            return True
+    return not common
 
 
 def cliques_containing_edge(

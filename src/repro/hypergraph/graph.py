@@ -6,17 +6,164 @@ node pair, its *edge multiplicity* ``w_uv`` - the number of hyperedges
 reconstruction loop repeatedly *decrements* these weights as cliques are
 converted into hyperedges, so the structure supports cheap decrement +
 edge removal and cheap copies.
+
+Aggregate quantities the reconstruction loop reads every iteration
+(``num_edges``, ``total_weight``, per-node weighted degrees, the
+``is_empty`` stop condition) are maintained incrementally under every
+mutation, so they are O(1) instead of O(V) / O(E) scans.  A ``version``
+counter increments on each mutation and invalidates two cached derived
+views used by the numpy batch kernels:
+
+- :meth:`snapshot` - an immutable CSR-style export
+  (:class:`GraphSnapshot`) with vectorized pair-weight, MHH, and
+  common-neighbor lookups;
+- :meth:`neighbor_sets` - per-node neighbor sets shared by clique
+  maximality checks.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
 
+import numpy as np
+
 Node = int
+
+_EMPTY_SET: FrozenSet[Node] = frozenset()
 
 
 def _ordered(u: Node, v: Node) -> Tuple[Node, Node]:
     return (u, v) if u <= v else (v, u)
+
+
+@dataclasses.dataclass(frozen=True)
+class GraphSnapshot:
+    """Immutable CSR-style export of a :class:`WeightedGraph`.
+
+    Rows are ordered by ascending node id and columns are sorted within
+    each row, so ``keys`` (``row * (V + 1) + col``) is globally sorted
+    and supports binary-search edge lookups.  Row index ``V`` is a
+    phantom row with no neighbors; node ids absent from the graph map
+    there, which makes every batch kernel total (unknown nodes simply
+    have weight 0, degree 0, and no common neighbors).
+    """
+
+    node_ids: np.ndarray  #: (V,) sorted node identifiers
+    index: Dict[Node, int]  #: node id -> row index
+    indptr: np.ndarray  #: (V + 2,) row pointers incl. the phantom row
+    nbr: np.ndarray  #: (2E,) column indices, row-major / col-sorted
+    wts: np.ndarray  #: (2E,) float64 edge weights aligned with ``nbr``
+    keys: np.ndarray  #: (2E,) int64 ``row * (V + 1) + col``, ascending
+    degrees: np.ndarray  #: (V + 1,) unweighted degree per row
+    weighted_degrees: np.ndarray  #: (V + 1,) float64 weighted degree
+    version: int  #: graph version this snapshot was built from
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def key_base(self) -> int:
+        return len(self.node_ids) + 1
+
+    def index_of(self, nodes: Iterable[Node]) -> np.ndarray:
+        """Row indices for ``nodes`` (unknown ids map to the phantom row)."""
+        phantom = len(self.node_ids)
+        index = self.index
+        return np.fromiter(
+            (index.get(u, phantom) for u in nodes), dtype=np.int64
+        )
+
+    def _lookup_weights(self, search: np.ndarray) -> np.ndarray:
+        """Weights for encoded edge keys; 0 where the edge is absent."""
+        out = np.zeros(len(search), dtype=np.float64)
+        if len(self.keys) == 0 or len(search) == 0:
+            return out
+        pos = np.searchsorted(self.keys, search)
+        pos = np.minimum(pos, len(self.keys) - 1)
+        found = self.keys[pos] == search
+        out[found] = self.wts[pos[found]]
+        return out
+
+    def pair_weights(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Edge weights ``w_{a[i] b[i]}`` for row-index pairs."""
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        return self._lookup_weights(a * self.key_base + b)
+
+    def expand_rows(
+        self, rows: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Concatenated neighbor-slot positions for a batch of rows.
+
+        For ``rows[i]`` with degree ``d_i``, the result enumerates the
+        ``sum(d_i)`` positions of their CSR entries: ``flat`` indexes
+        into ``nbr``/``wts``, and ``owner`` maps each position back to
+        ``i``.  This is the shared expansion step of every batch kernel
+        that walks neighbor lists.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        counts = self.degrees[rows]
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        starts = self.indptr[rows]
+        ends = np.cumsum(counts)
+        offsets = np.repeat(ends - counts, counts)
+        flat = np.arange(total, dtype=np.int64) - offsets + np.repeat(
+            starts, counts
+        )
+        owner = np.repeat(np.arange(len(rows), dtype=np.int64), counts)
+        return flat, owner
+
+    def _intersect(
+        self, a: np.ndarray, b: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Common-neighbor expansion for row-index pairs.
+
+        Walks the sparser endpoint's (sorted) neighbor row and binary-
+        searches the other endpoint's row via ``keys``.  Returns, for
+        every matched common neighbor, the owning pair's position and
+        the two incident edge weights.
+        """
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        empty = np.zeros(0, dtype=np.float64)
+        if len(a) == 0 or len(self.keys) == 0:
+            return np.zeros(0, dtype=np.int64), empty, empty
+        deg = self.degrees
+        swap = deg[a] > deg[b]
+        probe = np.where(swap, b, a)
+        other = np.where(swap, a, b)
+        flat, pair_of = self.expand_rows(probe)
+        if len(flat) == 0:
+            return np.zeros(0, dtype=np.int64), empty, empty
+        z = self.nbr[flat]
+        w_probe = self.wts[flat]
+        search = other[pair_of] * self.key_base + z
+        pos = np.searchsorted(self.keys, search)
+        pos = np.minimum(pos, len(self.keys) - 1)
+        found = self.keys[pos] == search
+        return pair_of[found], w_probe[found], self.wts[pos[found]]
+
+    def batch_mhh(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Eq. (1) for every row-index pair: sorted-neighbor intersection
+        with ``np.minimum`` sums, one vectorized pass for the batch."""
+        pair_of, w1, w2 = self._intersect(a, b)
+        counts = np.bincount(
+            pair_of, weights=np.minimum(w1, w2), minlength=len(np.atleast_1d(a))
+        )
+        # bincount returns int64 for empty inputs even with float weights
+        return counts.astype(np.float64, copy=False)
+
+    def batch_common_neighbor_counts(
+        self, a: np.ndarray, b: np.ndarray
+    ) -> np.ndarray:
+        """``|N(a[i]) ∩ N(b[i])|`` for every row-index pair."""
+        pair_of, _, _ = self._intersect(a, b)
+        return np.bincount(pair_of, minlength=len(np.atleast_1d(a)))
 
 
 class WeightedGraph:
@@ -24,6 +171,14 @@ class WeightedGraph:
 
     def __init__(self, nodes: Optional[Iterable[Node]] = None) -> None:
         self._adj: Dict[Node, Dict[Node, int]] = {}
+        self._weighted_degree: Dict[Node, int] = {}
+        self._num_edges = 0
+        self._total_weight = 0
+        self._version = 0
+        self._snapshot_cache: Optional[GraphSnapshot] = None
+        self._neighbor_sets_cache: Optional[Dict[Node, Set[Node]]] = None
+        self._maximality_memo: Optional[Dict[Tuple[Node, ...], float]] = None
+        self._clique_rows_cache: Optional[Dict] = None
         if nodes is not None:
             for node in nodes:
                 self.add_node(node)
@@ -31,8 +186,19 @@ class WeightedGraph:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
+    def _bump(self) -> None:
+        self._version += 1
+        self._snapshot_cache = None
+        self._neighbor_sets_cache = None
+        self._maximality_memo = None
+
     def add_node(self, node: Node) -> None:
-        self._adj.setdefault(node, {})
+        if node not in self._adj:
+            self._adj[node] = {}
+            self._weighted_degree[node] = 0
+            # A new node can shift every row index in the sorted order.
+            self._clique_rows_cache = None
+            self._bump()
 
     def add_edge(self, u: Node, v: Node, weight: int = 1) -> None:
         """Add ``weight`` to the multiplicity of edge ``{u, v}``."""
@@ -40,10 +206,16 @@ class WeightedGraph:
             raise ValueError(f"self-loops are not allowed (node {u})")
         if weight < 1:
             raise ValueError(f"edge weight increments must be >= 1, got {weight}")
-        self._adj.setdefault(u, {})
-        self._adj.setdefault(v, {})
+        self.add_node(u)
+        self.add_node(v)
+        if v not in self._adj[u]:
+            self._num_edges += 1
         self._adj[u][v] = self._adj[u].get(v, 0) + weight
         self._adj[v][u] = self._adj[v].get(u, 0) + weight
+        self._total_weight += weight
+        self._weighted_degree[u] += weight
+        self._weighted_degree[v] += weight
+        self._bump()
 
     def set_weight(self, u: Node, v: Node, weight: int) -> None:
         """Set the multiplicity of edge ``{u, v}``; 0 removes the edge."""
@@ -52,10 +224,18 @@ class WeightedGraph:
         if weight == 0:
             self.remove_edge(u, v)
             return
-        self._adj.setdefault(u, {})
-        self._adj.setdefault(v, {})
+        self.add_node(u)
+        self.add_node(v)
+        current = self._adj[u].get(v, 0)
+        if current == 0:
+            self._num_edges += 1
+        delta = weight - current
         self._adj[u][v] = weight
         self._adj[v][u] = weight
+        self._total_weight += delta
+        self._weighted_degree[u] += delta
+        self._weighted_degree[v] += delta
+        self._bump()
 
     def decrement_edge(self, u: Node, v: Node, amount: int = 1) -> int:
         """Decrease the weight of ``{u, v}``; remove the edge at zero.
@@ -75,15 +255,27 @@ class WeightedGraph:
         if remaining == 0:
             del self._adj[u][v]
             del self._adj[v][u]
+            self._num_edges -= 1
         else:
             self._adj[u][v] = remaining
             self._adj[v][u] = remaining
+        self._total_weight -= amount
+        self._weighted_degree[u] -= amount
+        self._weighted_degree[v] -= amount
+        self._bump()
         return remaining
 
     def remove_edge(self, u: Node, v: Node) -> None:
-        if v in self._adj.get(u, {}):
-            del self._adj[u][v]
-            del self._adj[v][u]
+        current = self._adj.get(u, {}).get(v)
+        if current is None:
+            return
+        del self._adj[u][v]
+        del self._adj[v][u]
+        self._num_edges -= 1
+        self._total_weight -= current
+        self._weighted_degree[u] -= current
+        self._weighted_degree[v] -= current
+        self._bump()
 
     # ------------------------------------------------------------------
     # Inspection
@@ -98,7 +290,12 @@ class WeightedGraph:
 
     @property
     def num_edges(self) -> int:
-        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+        return self._num_edges
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; derived caches key off this value."""
+        return self._version
 
     def has_edge(self, u: Node, v: Node) -> bool:
         return v in self._adj.get(u, {})
@@ -120,7 +317,7 @@ class WeightedGraph:
 
     def weighted_degree(self, node: Node) -> int:
         """Sum of incident edge multiplicities (node-level MARIOH feature)."""
-        return sum(self._adj.get(node, {}).values())
+        return self._weighted_degree.get(node, 0)
 
     def edges(self) -> Iterator[Tuple[Node, Node]]:
         """Iterate each undirected edge once as an ordered pair (u <= v)."""
@@ -137,7 +334,7 @@ class WeightedGraph:
 
     def total_weight(self) -> int:
         """Sum of all edge multiplicities."""
-        return sum(w for _, _, w in self.edges_with_weights())
+        return self._total_weight
 
     def common_neighbors(self, u: Node, v: Node) -> Set[Node]:
         nu = self._adj.get(u, {})
@@ -148,21 +345,131 @@ class WeightedGraph:
 
     def is_empty(self) -> bool:
         """True when no edges remain (the MARIOH loop's stop condition)."""
-        return all(not nbrs for nbrs in self._adj.values())
+        return self._num_edges == 0
 
+    # ------------------------------------------------------------------
+    # Cached derived views
+    # ------------------------------------------------------------------
+    def neighbor_sets(self) -> Dict[Node, Set[Node]]:
+        """Per-node neighbor sets, cached until the next mutation.
+
+        Shared by maximality checks across a scoring batch; callers must
+        treat the returned sets as read-only.
+        """
+        if self._neighbor_sets_cache is None:
+            self._neighbor_sets_cache = {
+                u: set(nbrs) for u, nbrs in self._adj.items()
+            }
+        return self._neighbor_sets_cache
+
+    def clique_rows_cache(self) -> Dict:
+        """Scratch table mapping cliques to (members, row indices).
+
+        Row indices depend only on the sorted *node set*, which edge
+        decrements never change, so this cache survives the edge
+        mutations of the reconstruction loop (it is cleared when a node
+        is added).  Used by the batch featurizer to avoid re-deriving
+        member lists for cliques that are re-scored every iteration.
+        """
+        if self._clique_rows_cache is None:
+            self._clique_rows_cache = {}
+        return self._clique_rows_cache
+
+    def maximality_memo(self) -> Dict[Tuple[Node, ...], float]:
+        """Scratch table for per-clique maximality flags, cleared on mutation.
+
+        The reconstruction loop evaluates maximality against the
+        *immutable* original graph, so candidate cliques that survive
+        across iterations resolve to one cached flag instead of a fresh
+        neighbor-set walk per scoring round.
+        """
+        if self._maximality_memo is None:
+            self._maximality_memo = {}
+        return self._maximality_memo
+
+    def snapshot(self) -> GraphSnapshot:
+        """CSR-style export for numpy batch kernels, cached until mutation."""
+        if self._snapshot_cache is None:
+            self._snapshot_cache = self._build_snapshot()
+        return self._snapshot_cache
+
+    def _build_snapshot(self) -> GraphSnapshot:
+        node_ids = sorted(self._adj)
+        n = len(node_ids)
+        index = {u: i for i, u in enumerate(node_ids)}
+        base = n + 1
+        keys = np.fromiter(
+            (
+                index[u] * base + index[v]
+                for u, nbrs in self._adj.items()
+                for v in nbrs
+            ),
+            dtype=np.int64,
+            count=2 * self._num_edges,
+        )
+        wts = np.fromiter(
+            (w for nbrs in self._adj.values() for w in nbrs.values()),
+            dtype=np.float64,
+            count=2 * self._num_edges,
+        )
+        # One global sort yields row-major order with columns sorted
+        # within each row (keys are unique).
+        order = np.argsort(keys)
+        keys = keys[order]
+        wts = wts[order]
+        nbr = keys % base
+        degrees = np.zeros(n + 1, dtype=np.int64)
+        degrees[:n] = np.fromiter(
+            (len(self._adj[u]) for u in node_ids), dtype=np.int64, count=n
+        )
+        weighted = np.zeros(n + 1, dtype=np.float64)
+        weighted[:n] = np.fromiter(
+            (self._weighted_degree[u] for u in node_ids),
+            dtype=np.float64,
+            count=n,
+        )
+        indptr = np.zeros(n + 2, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        return GraphSnapshot(
+            node_ids=np.asarray(node_ids, dtype=np.int64),
+            index=index,
+            indptr=indptr,
+            nbr=nbr,
+            wts=wts,
+            keys=keys,
+            degrees=degrees,
+            weighted_degrees=weighted,
+            version=self._version,
+        )
+
+    # ------------------------------------------------------------------
     def subgraph(self, nodes: Iterable[Node]) -> "WeightedGraph":
         """Induced subgraph on ``nodes`` (weights preserved)."""
-        keep = set(nodes)
-        sub = WeightedGraph(nodes=keep & set(self._adj))
+        keep = set(nodes) & self._adj.keys()
+        sub = WeightedGraph()
+        adj: Dict[Node, Dict[Node, int]] = {}
+        weighted: Dict[Node, int] = {}
+        directed_edges = 0
+        directed_weight = 0
         for u in keep:
-            for v, w in self._adj.get(u, {}).items():
-                if v in keep and u < v:
-                    sub.add_edge(u, v, w)
+            row = {v: w for v, w in self._adj[u].items() if v in keep}
+            adj[u] = row
+            row_weight = sum(row.values())
+            weighted[u] = row_weight
+            directed_edges += len(row)
+            directed_weight += row_weight
+        sub._adj = adj
+        sub._weighted_degree = weighted
+        sub._num_edges = directed_edges // 2
+        sub._total_weight = directed_weight // 2
         return sub
 
     def copy(self) -> "WeightedGraph":
         clone = WeightedGraph()
         clone._adj = {u: dict(nbrs) for u, nbrs in self._adj.items()}
+        clone._weighted_degree = dict(self._weighted_degree)
+        clone._num_edges = self._num_edges
+        clone._total_weight = self._total_weight
         return clone
 
     def __eq__(self, other: object) -> bool:

@@ -33,29 +33,38 @@ def _softmax(x: np.ndarray) -> np.ndarray:
 
 
 class _AdamState:
-    """Per-parameter Adam moment buffers."""
+    """Adam moment buffers over one flat parameter vector.
 
-    def __init__(self, shapes: Sequence[Tuple[int, ...]]) -> None:
-        self.m = [np.zeros(shape) for shape in shapes]
-        self.v = [np.zeros(shape) for shape in shapes]
+    All parameters live in a single contiguous float64 buffer (the MLP
+    layers are views into it), so one step is a handful of vectorized
+    array operations instead of per-parameter loops.  Every expression
+    performs the same elementwise float operations (and roundings) as
+    the textbook per-parameter form, so training stays bit-identical.
+    """
+
+    def __init__(self, n_params: int) -> None:
+        self.m = np.zeros(n_params)
+        self.v = np.zeros(n_params)
         self.t = 0
 
     def step(
         self,
-        params: List[np.ndarray],
-        grads: List[np.ndarray],
+        params: np.ndarray,
+        grads: np.ndarray,
         lr: float,
         beta1: float = 0.9,
         beta2: float = 0.999,
         eps: float = 1e-8,
     ) -> None:
         self.t += 1
-        for i, (param, grad) in enumerate(zip(params, grads)):
-            self.m[i] = beta1 * self.m[i] + (1.0 - beta1) * grad
-            self.v[i] = beta2 * self.v[i] + (1.0 - beta2) * grad * grad
-            m_hat = self.m[i] / (1.0 - beta1**self.t)
-            v_hat = self.v[i] / (1.0 - beta2**self.t)
-            param -= lr * m_hat / (np.sqrt(v_hat) + eps)
+        correction1 = 1.0 - beta1**self.t
+        correction2 = 1.0 - beta2**self.t
+        m, v = self.m, self.v
+        m *= beta1
+        m += (1.0 - beta1) * grads
+        v *= beta2
+        v += (1.0 - beta2) * grads * grads
+        params -= lr * (m / correction1) / (np.sqrt(v / correction2) + eps)
 
 
 class MLPClassifier:
@@ -95,6 +104,10 @@ class MLPClassifier:
         self.seed = seed
         self._weights: List[np.ndarray] = []
         self._biases: List[np.ndarray] = []
+        self._flat_params: np.ndarray = np.zeros(0)
+        self._flat_grads: np.ndarray = np.zeros(0)
+        self._weight_grads: List[np.ndarray] = []
+        self._bias_grads: List[np.ndarray] = []
         self._mean: Optional[np.ndarray] = None
         self._std: Optional[np.ndarray] = None
         self._n_classes = 2
@@ -106,13 +119,41 @@ class MLPClassifier:
         return bool(self._weights)
 
     def _init_params(self, n_features: int, n_outputs: int, rng) -> None:
+        """Initialize weights/biases as views into one flat buffer.
+
+        The flat layout lets the Adam update run as a few whole-buffer
+        vector operations; the per-layer views stay contiguous, so the
+        forward/backward matmuls are unaffected.
+        """
         sizes = [n_features, *self.hidden_sizes, n_outputs]
+        shapes = list(zip(sizes[:-1], sizes[1:]))
+        initial: List[np.ndarray] = []
+        for fan_in, fan_out in shapes:
+            scale = np.sqrt(2.0 / fan_in)
+            initial.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+        n_weights = sum(fan_in * fan_out for fan_in, fan_out in shapes)
+        n_biases = sum(fan_out for _, fan_out in shapes)
+        self._flat_params = np.zeros(n_weights + n_biases)
+        self._flat_grads = np.zeros(n_weights + n_biases)
         self._weights = []
         self._biases = []
-        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
-            scale = np.sqrt(2.0 / fan_in)
-            self._weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
-            self._biases.append(np.zeros(fan_out))
+        self._weight_grads = []
+        self._bias_grads = []
+        cursor = 0
+        for (fan_in, fan_out), init in zip(shapes, initial):
+            view = self._flat_params[cursor : cursor + fan_in * fan_out]
+            view[:] = init.ravel()
+            self._weights.append(view.reshape(fan_in, fan_out))
+            self._weight_grads.append(
+                self._flat_grads[cursor : cursor + fan_in * fan_out].reshape(
+                    fan_in, fan_out
+                )
+            )
+            cursor += fan_in * fan_out
+        for _, fan_out in shapes:
+            self._biases.append(self._flat_params[cursor : cursor + fan_out])
+            self._bias_grads.append(self._flat_grads[cursor : cursor + fan_out])
+            cursor += fan_out
 
     def _forward(self, x: np.ndarray) -> Tuple[List[np.ndarray], np.ndarray]:
         activations = [x]
@@ -156,9 +197,7 @@ class MLPClassifier:
         rng = np.random.default_rng(self.seed)
         n_outputs = 1 if self._n_classes == 2 else self._n_classes
         self._init_params(x.shape[1], n_outputs, rng)
-        adam = _AdamState(
-            [w.shape for w in self._weights] + [b.shape for b in self._biases]
-        )
+        adam = _AdamState(len(self._flat_params))
 
         # Validation holdout for early stopping (skip for tiny datasets).
         n = len(x)
@@ -220,21 +259,15 @@ class MLPClassifier:
             delta[np.arange(n), y] -= 1.0
             delta /= n
 
-        weight_grads: List[np.ndarray] = [np.empty(0)] * len(self._weights)
-        bias_grads: List[np.ndarray] = [np.empty(0)] * len(self._biases)
         for layer in range(len(self._weights) - 1, -1, -1):
-            weight_grads[layer] = (
-                activations[layer].T @ delta + self.l2 * self._weights[layer]
-            )
-            bias_grads[layer] = delta.sum(axis=0)
+            grad = self._weight_grads[layer]
+            np.matmul(activations[layer].T, delta, out=grad)
+            grad += self.l2 * self._weights[layer]
+            np.sum(delta, axis=0, out=self._bias_grads[layer])
             if layer > 0:
                 delta = (delta @ self._weights[layer].T) * (activations[layer] > 0)
 
-        adam.step(
-            self._weights + self._biases,
-            weight_grads + bias_grads,
-            self.learning_rate,
-        )
+        adam.step(self._flat_params, self._flat_grads, self.learning_rate)
         return float(loss)
 
     def _loss(self, x: np.ndarray, y: np.ndarray) -> float:

@@ -36,16 +36,14 @@ class TestMLPGradients:
         model._n_classes = 2
         model._init_params(4, 1, rng)
 
-        # Analytic gradients: run one batch through a dummy Adam that
-        # records the raw gradients instead of stepping.
-        recorded = {}
-
-        class _Recorder(_AdamState):
+        # Analytic gradients: run one batch through a no-op Adam; the
+        # backward pass leaves them in the model's gradient views.
+        class _NoStep(_AdamState):
             def step(self, params, grads, lr, **kwargs):
-                recorded["grads"] = [g.copy() for g in grads]
+                pass
 
-        model._train_batch(x, y.astype(int), _Recorder([]))
-        analytic = recorded["grads"]
+        model._train_batch(x, y.astype(int), _NoStep(0))
+        analytic = [g.copy() for g in model._weight_grads + model._bias_grads]
 
         # Finite differences over every weight and bias entry.
         epsilon = 1e-6
@@ -74,14 +72,13 @@ class TestMLPGradients:
             model = MLPClassifier(hidden_sizes=(4,), l2=l2, seed=0)
             model._n_classes = 2
             model._init_params(3, 1, np.random.default_rng(0))
-            recorded = {}
 
-            class _Recorder(_AdamState):
+            class _NoStep(_AdamState):
                 def step(self, params, grads, lr, **kwargs):
-                    recorded["grads"] = [g.copy() for g in grads]
+                    pass
 
-            model._train_batch(x, y, _Recorder([]))
-            return recorded["grads"][0], model._weights[0]
+            model._train_batch(x, y, _NoStep(0))
+            return model._weight_grads[0].copy(), model._weights[0]
 
         grad_without, _ = grads_with_l2(0.0)
         grad_with, weights = grads_with_l2(0.1)

@@ -147,3 +147,100 @@ class TestSubgraphCopy:
         other = triangle_graph.copy()
         other.add_edge(0, 1)
         assert triangle_graph != other
+
+
+class TestIncrementalInvariants:
+    """num_edges / total_weight / weighted_degree / is_empty are O(1)
+    counters; they must track any mutation sequence exactly."""
+
+    def _assert_invariants(self, graph):
+        assert graph.num_edges == sum(
+            1 for _ in graph.edges()
+        ), "num_edges diverged"
+        assert graph.total_weight() == sum(
+            w for _, _, w in graph.edges_with_weights()
+        ), "total_weight diverged"
+        for node in graph.nodes:
+            assert graph.weighted_degree(node) == sum(
+                graph.neighbor_weights(node).values()
+            ), f"weighted_degree diverged for {node}"
+        assert graph.is_empty() == (graph.num_edges == 0)
+
+    def test_random_mutation_sequences(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        graph = WeightedGraph()
+        for step in range(300):
+            op = rng.integers(0, 5)
+            u, v = int(rng.integers(0, 12)), int(rng.integers(0, 12))
+            if u == v:
+                continue
+            if op == 0:
+                graph.add_edge(u, v, int(rng.integers(1, 4)))
+            elif op == 1 and graph.has_edge(u, v):
+                graph.decrement_edge(
+                    u, v, int(rng.integers(1, graph.weight(u, v) + 1))
+                )
+            elif op == 2:
+                graph.set_weight(u, v, int(rng.integers(0, 4)))
+            elif op == 3:
+                graph.remove_edge(u, v)
+            else:
+                graph.add_node(u)
+            self._assert_invariants(graph)
+
+    def test_copy_and_subgraph_preserve_invariants(self, paper_figure3_graph):
+        clone = paper_figure3_graph.copy()
+        self._assert_invariants(clone)
+        sub = paper_figure3_graph.subgraph([2, 3, 5, 6, 7])
+        self._assert_invariants(sub)
+        assert sub.num_edges == 8  # 4-clique {2,3,5,6} (6) plus {5,7}, {6,7}
+
+
+class TestVersionAndCaches:
+    def test_version_bumps_on_mutation(self, triangle_graph):
+        before = triangle_graph.version
+        triangle_graph.decrement_edge(0, 1)
+        assert triangle_graph.version > before
+
+    def test_snapshot_cached_between_mutations(self, triangle_graph):
+        first = triangle_graph.snapshot()
+        assert triangle_graph.snapshot() is first
+        triangle_graph.add_edge(0, 3)
+        assert triangle_graph.snapshot() is not first
+
+    def test_neighbor_sets_cached_and_invalidated(self, triangle_graph):
+        sets = triangle_graph.neighbor_sets()
+        assert sets[0] == {1, 2}
+        assert triangle_graph.neighbor_sets() is sets
+        triangle_graph.remove_edge(0, 1)
+        assert triangle_graph.neighbor_sets()[0] == {2}
+
+
+class TestSnapshotKernels:
+    def test_pair_weights_lookup(self, triangle_graph):
+        import numpy as np
+
+        triangle_graph.add_edge(1, 2, 4)  # weight now 5
+        snapshot = triangle_graph.snapshot()
+        a = snapshot.index_of([0, 1, 0])
+        b = snapshot.index_of([1, 2, 99])  # unknown node maps to phantom
+        np.testing.assert_array_equal(
+            snapshot.pair_weights(a, b), [1.0, 5.0, 0.0]
+        )
+
+    def test_snapshot_rows_sorted(self):
+        import numpy as np
+
+        graph = WeightedGraph()
+        graph.add_edge(5, 1, 2)
+        graph.add_edge(5, 3, 7)
+        graph.add_edge(1, 3, 1)
+        snapshot = graph.snapshot()
+        np.testing.assert_array_equal(snapshot.node_ids, [1, 3, 5])
+        assert np.all(np.diff(snapshot.keys) > 0)  # strictly ascending
+        np.testing.assert_array_equal(snapshot.degrees, [2, 2, 2, 0])
+        np.testing.assert_array_equal(
+            snapshot.weighted_degrees, [3.0, 8.0, 9.0, 0.0]
+        )

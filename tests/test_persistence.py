@@ -96,3 +96,56 @@ class TestMariohPersistence:
         path.write_text('{"format": "something-else"}')
         with pytest.raises(ValueError):
             MARIOH.load(path)
+
+
+class TestPersistenceVersioning:
+    def test_v2_payload_preserves_classifier_hyperparameters(self, tmp_path):
+        import json
+
+        hypergraph = random_hypergraph(seed=2, n_nodes=14, n_edges=22)
+        model = MARIOH(
+            hidden_sizes=(16, 8), negative_ratio=3.5, max_epochs=21, seed=0
+        ).fit(hypergraph)
+        path = tmp_path / "model.json"
+        model.save(path)
+
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 2
+        loaded = MARIOH.load(path)
+        assert loaded.hidden_sizes == (16, 8)
+        assert loaded.negative_ratio == 3.5
+        assert loaded.max_epochs == 21
+        assert loaded.classifier.negative_ratio == 3.5
+        assert loaded.classifier._mlp.max_epochs == 21
+
+    def test_version_1_files_still_load(self, tmp_path):
+        """Old files (no classifier hyperparameters) must keep loading,
+        falling back to constructor defaults for the missing fields."""
+        import json
+
+        hypergraph = random_hypergraph(seed=4, n_nodes=14, n_edges=22)
+        model = MARIOH(seed=0, max_epochs=20).fit(hypergraph)
+        path = tmp_path / "model.json"
+        model.save(path)
+        payload = json.loads(path.read_text())
+        for key in ("hidden_sizes", "negative_ratio", "max_epochs"):
+            del payload[key]
+        payload["version"] = 1
+        path.write_text(json.dumps(payload))
+
+        loaded = MARIOH.load(path)
+        defaults = MARIOH(seed=0)
+        assert loaded.hidden_sizes == defaults.hidden_sizes
+        assert loaded.negative_ratio == defaults.negative_ratio
+        assert loaded.max_epochs == defaults.max_epochs
+        # The trained weights still round-trip regardless of version.
+        graph = project(hypergraph)
+        assert loaded.reconstruct(graph) == model.reconstruct(graph)
+
+    def test_unknown_version_rejected(self, tmp_path):
+        import json
+
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"format": "repro-marioh", "version": 99}))
+        with pytest.raises(ValueError, match="unsupported version"):
+            MARIOH.load(path)

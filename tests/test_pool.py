@@ -144,3 +144,32 @@ class TestEngineEquivalence:
     def test_invalid_engine_rejected(self):
         with pytest.raises(ValueError):
             MARIOH(engine="warp")
+
+
+class TestSortedViewCache:
+    def test_current_is_cached_until_change(self, paper_figure3_graph):
+        pool = CliqueCandidatePool(paper_figure3_graph)
+        first = pool.current()
+        assert pool.current() is first  # no re-sort while unchanged
+        pool.notify_edges_removed([])
+        assert pool.current() is first  # empty notification keeps cache
+
+    def test_cache_invalidated_by_removal(self, triangle_graph):
+        pool = CliqueCandidatePool(triangle_graph)
+        stale = pool.current()
+        removed = remove_edges(triangle_graph, [(0, 1)])
+        pool.notify_edges_removed(removed)
+        fresh = pool.current()
+        assert fresh is not stale
+        assert set(fresh) == {frozenset({0, 2}), frozenset({1, 2})}
+        # And the refreshed view is cached again.
+        assert pool.current() is fresh
+
+    def test_order_matches_rescan_listing(self, paper_figure3_graph):
+        from repro.hypergraph.cliques import maximal_cliques_list
+
+        pool = CliqueCandidatePool(paper_figure3_graph)
+        assert pool.current() == maximal_cliques_list(paper_figure3_graph)
+        removed = remove_edges(paper_figure3_graph, [(2, 3), (5, 6)])
+        pool.notify_edges_removed(removed)
+        assert pool.current() == maximal_cliques_list(paper_figure3_graph)
