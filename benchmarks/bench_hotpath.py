@@ -1,25 +1,51 @@
 """Hot-path microbenchmarks feeding the performance trajectory.
 
-Times the three kernels the vectorized overhaul targets - batch clique
-featurization, batch MHH (Eq. 1), and the end-to-end MARIOH
-fit+reconstruct on the ``eu`` analogue - and emits a machine-readable
-``BENCH_hotpath.json`` under ``benchmarks/results/`` so successive PRs
-can track throughput.  Thresholds are ~10x below measured values; they
-only trip on order-of-magnitude regressions (e.g. the vectorized path
-silently falling back to the scalar loop).
+Times the kernels the vectorized + cached overhaul targets - batch
+clique featurization (raw kernel and warm feature-row cache), batch MHH
+(Eq. 1), and the end-to-end MARIOH fit+reconstruct on the ``eu``
+analogue - and emits a machine-readable ``BENCH_hotpath.json`` under
+``benchmarks/results/`` so successive PRs can track throughput.  See
+``docs/performance.md`` for how to read each metric.
+
+Two cache-hit-rate metrics are reported and **asserted present**:
+
+- ``featurize_cache_hit_rate`` - steady-state rate of the featurize
+  microbench (same candidate list, unmutated graph: the stagnant-
+  iteration regime, which the cache serves almost entirely);
+- ``reconstruct_cache_hit_rate`` - rate over the full reconstruction
+  loop on ``eu``, where conversions genuinely touch nodes and force
+  recomputation (the honest loop-level number).
+
+Thresholds are ~10x below measured values; they only trip on
+order-of-magnitude regressions (e.g. the vectorized path silently
+falling back to the scalar loop, or the row cache never hitting).
 """
 
 from __future__ import annotations
 
+import json
 import time
 
-from conftest import emit_json
+from conftest import RESULTS_DIR, emit_json
 
 from repro.core.features import CliqueFeaturizer, StructuralFeaturizer
 from repro.core.marioh import MARIOH
 from repro.datasets import load
 from repro.experiments import run_method
 from repro.hypergraph.cliques import maximal_cliques_list
+
+#: keys that must be present in BENCH_hotpath.json for the cache
+#: trajectory to stay auditable; test_hotpath_metrics_written fails
+#: loudly when any goes missing.
+REQUIRED_CACHE_KEYS = (
+    "featurize_cache_hit_rate",
+    "reconstruct_cache_hit_rate",
+    "reconstruct_cache_hits",
+    "reconstruct_cache_misses",
+    "reconstruct_iterations",
+    "per_iteration_reconstruct_ms_mean",
+    "per_iteration_reconstruct_ms_max",
+)
 
 
 def _throughput(fn, units: int, min_seconds: float = 0.5) -> float:
@@ -44,18 +70,48 @@ def test_hotpath_microbench():
 
     clique_featurizer = CliqueFeaturizer()
     structural_featurizer = StructuralFeaturizer()
-    featurize_cps = _throughput(
+
+    def kernel_featurize():
+        # Reset the row cache so this metric keeps tracking the raw
+        # batch kernel across PRs instead of the cache's dict lookups.
+        clique_featurizer.reset_row_cache()
+        clique_featurizer.featurize_many(cliques, graph)
+
+    featurize_cps = _throughput(kernel_featurize, len(cliques))
+
+    # Warm-cache path: same candidate list on an unmutated graph (the
+    # stagnant-iteration regime of the search loop).
+    clique_featurizer.reset_row_cache()
+    cached_cps = _throughput(
         lambda: clique_featurizer.featurize_many(cliques, graph), len(cliques)
     )
-    structural_cps = _throughput(
-        lambda: structural_featurizer.featurize_many(cliques, graph),
-        len(cliques),
-    )
+    featurize_cache_stats = clique_featurizer.row_cache_stats()
+
+    def kernel_structural():
+        structural_featurizer.reset_row_cache()
+        structural_featurizer.featurize_many(cliques, graph)
+
+    structural_cps = _throughput(kernel_structural, len(cliques))
     mhh_pps = _throughput(lambda: snapshot.batch_mhh(a, b), len(edges))
 
+    # End-to-end Table II setting (reduced multiplicity), tracked for
+    # the trajectory.
     started = time.perf_counter()
     result = run_method("MARIOH", bundle, seed=0)
     end_to_end = time.perf_counter() - started
+
+    # Reconstruction-loop cache + per-iteration timing metrics, on the
+    # preserved-multiplicity eu target.
+    model = MARIOH(seed=0)
+    model.fit(bundle.source_hypergraph)
+    featurizer = model.classifier.featurizer
+    featurizer.reset_row_cache()
+    started = time.perf_counter()
+    model.reconstruct(graph)
+    reconstruct_seconds = time.perf_counter() - started
+    loop_stats = featurizer.row_cache_stats()
+    iteration_ms = [1000.0 * s for s in model.iteration_seconds_]
+    assert iteration_ms, "reconstruct() recorded no iteration timings"
 
     emit_json(
         "BENCH_hotpath",
@@ -64,12 +120,25 @@ def test_hotpath_microbench():
             "n_cliques": len(cliques),
             "n_edges": len(edges),
             "featurize_many_cliques_per_s": round(featurize_cps, 1),
+            "featurize_many_warm_cache_cliques_per_s": round(cached_cps, 1),
+            "featurize_cache_hit_rate": round(
+                featurize_cache_stats["hit_rate"], 4
+            ),
             "structural_featurize_many_cliques_per_s": round(
                 structural_cps, 1
             ),
             "batch_mhh_pairs_per_s": round(mhh_pps, 1),
             "marioh_fit_reconstruct_s": round(result.runtime_seconds, 4),
             "marioh_end_to_end_s": round(end_to_end, 4),
+            "reconstruct_s": round(reconstruct_seconds, 4),
+            "reconstruct_iterations": model.n_iterations_,
+            "per_iteration_reconstruct_ms_mean": round(
+                sum(iteration_ms) / len(iteration_ms), 3
+            ),
+            "per_iteration_reconstruct_ms_max": round(max(iteration_ms), 3),
+            "reconstruct_cache_hit_rate": round(loop_stats["hit_rate"], 4),
+            "reconstruct_cache_hits": loop_stats["hits"],
+            "reconstruct_cache_misses": loop_stats["misses"],
         },
     )
 
@@ -77,8 +146,40 @@ def test_hotpath_microbench():
     # laptop, so shared/slow CI runners only trip them on genuine
     # order-of-magnitude regressions.
     assert featurize_cps > 10_000, "featurize_many fell off the fast path"
+    assert cached_cps > 50_000, "feature-row cache fell off the fast path"
     assert mhh_pps > 30_000, "batch MHH fell off the fast path"
     assert result.runtime_seconds < 2.0, "end-to-end eu run regressed >20x"
+    # The cache must actually serve the microbench's steady state and a
+    # meaningful share of the real loop's lookups.
+    assert featurize_cache_stats["hit_rate"] > 0.5, (
+        "feature-row cache missed on the unmutated eu microbench: "
+        f"{featurize_cache_stats}"
+    )
+    assert loop_stats["hits"] > 0, (
+        f"feature-row cache never hit during reconstruct: {loop_stats}"
+    )
+    assert loop_stats["hit_rate"] > 0.25, (
+        "reconstruct-loop cache hit rate collapsed: " f"{loop_stats}"
+    )
+
+
+def test_hotpath_metrics_written():
+    """BENCH_hotpath.json must carry the cache-hit-rate metrics.
+
+    Fails loudly if a refactor drops them: later sessions diff these
+    exact keys to track the performance trajectory.
+    """
+    path = RESULTS_DIR / "BENCH_hotpath.json"
+    assert path.exists(), (
+        "BENCH_hotpath.json missing - did test_hotpath_microbench run "
+        "before this test?"
+    )
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    missing = [key for key in REQUIRED_CACHE_KEYS if key not in payload]
+    assert not missing, (
+        f"BENCH_hotpath.json lost required cache metrics: {missing}; "
+        f"present keys: {sorted(payload)}"
+    )
 
 
 def test_hotpath_engine_default_is_incremental():

@@ -45,9 +45,18 @@ class MotifFeaturizer(StructuralFeaturizer):
     5-stat summaries of (a) common-neighbor counts per clique edge
     (triangle motifs through the clique) and (b) clustering coefficients
     per clique node (local triangle density).
+
+    A member's clustering coefficient depends on edges *among its
+    neighbors* - two hops out, beyond the edges incident to the clique -
+    so the inherited feature-row cache additionally invalidates on the
+    scoring graph's ``structure_version`` (weight-only mutations never
+    move motif statistics and keep rows valid).
     """
 
     n_features = StructuralFeaturizer.n_features + 10
+
+    def _cache_stamp_extra(self, graph, reference_graph):
+        return (graph.structure_version,)
 
     def featurize(self, clique, graph, reference_graph=None):
         base = super().featurize(clique, graph, reference_graph)
@@ -93,9 +102,12 @@ class MotifFeaturizer(StructuralFeaturizer):
             return np.vstack(
                 [self.featurize(clique, graph, reference_graph) for clique in cliques]
             )
+        return self._cached_featurize_many(cliques, graph, reference_graph)
+
+    def _compute_rows(self, cliques, graph, reference):
         batch = _prepare_batch(cliques, graph)
         base = _structural_feature_matrix(
-            cliques, graph, reference_graph, batch=batch
+            cliques, graph, reference, batch=batch
         )
         snapshot = batch.snapshot
 

@@ -42,6 +42,21 @@ from repro.hypergraph.split import subsample_supervision
 VARIANTS = ("full", "no_multiplicity", "no_filtering", "no_bidirectional")
 
 
+def _sampling_seed(seed: Optional[int]) -> int:
+    """Integer seed of the search's sub-clique sampling stream.
+
+    The classifier seeds ``np.random.default_rng(seed)`` directly for
+    negative sampling and MLP initialization; deriving the sampler's
+    seed from a *spawned child* of ``SeedSequence(seed)`` gives Phase-2
+    sub-clique sampling a statistically independent stream under the
+    same user-facing seed, so the two stages can never alias draws (and
+    engine- or cache-level changes to how often one stage recomputes
+    cannot perturb the other).  ``seed=None`` draws fresh OS entropy,
+    matching ``default_rng(None)``.
+    """
+    return int(np.random.SeedSequence(seed).spawn(1)[0].generate_state(1)[0])
+
+
 @dataclasses.dataclass(frozen=True)
 class ProvenanceRecord:
     """How one hyperedge instance entered the reconstruction.
@@ -148,6 +163,10 @@ class MARIOH:
         #: runtime-breakdown benchmark.
         self.stage_times_: Dict[str, float] = {}
         self.n_iterations_: int = 0
+        #: wall-clock seconds of each bidirectional-search iteration of
+        #: the last reconstruct() call - the per-iteration series behind
+        #: BENCH_hotpath.json's timing metrics.
+        self.iteration_seconds_: List[float] = []
         #: per-conversion provenance, filled by reconstruct() when
         #: ``record_provenance`` is set.
         self.provenance_: List[ProvenanceRecord] = []
@@ -184,17 +203,40 @@ class MARIOH:
     def reconstruct(self, target_graph: WeightedGraph) -> Hypergraph:
         """Reconstruct a hypergraph from the target projected graph.
 
-        The input graph is not modified.  Follows Algorithm 1: filtering
-        (unless the -F variant), then bidirectional-search iterations with
-        θ decaying by ``alpha * theta_init`` per iteration until no edges
-        remain.
+        Follows Algorithm 1: filtering (unless the -F variant), then
+        bidirectional-search iterations with θ decaying by
+        ``alpha * theta_init`` per iteration until no edges remain.
+
+        Parameters
+        ----------
+        target_graph : WeightedGraph
+            The projected graph ``G`` to invert.  Not modified: the
+            loop mutates a working copy and uses the original as the
+            immutable reference for the maximality feature.
+
+        Returns
+        -------
+        Hypergraph
+            The reconstruction ``Ĥ``; ``project(Ĥ)`` equals
+            ``target_graph`` by construction (every unit of edge weight
+            is consumed by exactly one conversion).
+
+        Notes
+        -----
+        Deterministic for a fixed ``seed``: sub-clique sampling draws
+        from a dedicated stream spawned off ``SeedSequence(seed)``
+        (independent of the classifier's stream), candidate ordering is
+        the pool's sorted view, and both engines produce byte-identical
+        results (property-tested).  Fills :attr:`stage_times_`,
+        :attr:`n_iterations_`, :attr:`iteration_seconds_`, and - when
+        ``record_provenance`` - :attr:`provenance_`.
         """
         if not self.is_fitted:
             raise RuntimeError("call fit() before reconstruct()")
 
         reconstruction = Hypergraph(nodes=target_graph.nodes)
         reference_graph = target_graph
-        rng = np.random.default_rng(self.seed)
+        sample_seed = _sampling_seed(self.seed)
 
         started = time.perf_counter()
         if self.variant == "no_filtering":
@@ -224,6 +266,7 @@ class MARIOH:
         )
         theta = self.theta_init
         iterations = 0
+        self.iteration_seconds_ = []
         started = time.perf_counter()
         while not working.is_empty():
             if (
@@ -231,6 +274,7 @@ class MARIOH:
                 and iterations >= self.max_iterations
             ):
                 break
+            iteration_started = time.perf_counter()
             recorder: Optional[List[Tuple[frozenset, str, float]]] = (
                 [] if self.record_provenance else None
             )
@@ -240,11 +284,11 @@ class MARIOH:
                 theta,
                 self.r,
                 reconstruction,
-                rng=rng,
                 reference_graph=reference_graph,
                 skip_negative_phase=(self.variant == "no_bidirectional"),
                 pool=pool,
                 recorder=recorder,
+                sample_seed=sample_seed,
             )
             if recorder is not None:
                 for clique, stage, score in recorder:
@@ -259,6 +303,9 @@ class MARIOH:
                     )
             theta = decay_threshold(theta, self.theta_init, self.alpha)
             iterations += 1
+            self.iteration_seconds_.append(
+                time.perf_counter() - iteration_started
+            )
         self.stage_times_["bidirectional"] = time.perf_counter() - started
         self.n_iterations_ = iterations
         return reconstruction
@@ -281,6 +328,23 @@ class MARIOH:
 
         Supports the transfer workflow: train once on a source domain,
         ship the file, and reconstruct new datasets without retraining.
+
+        The payload-v2 format is a single JSON object::
+
+            {
+              "format": "repro-marioh",     # file-type tag (required)
+              "version": 2,
+              "theta_init": float, "r": float, "alpha": float,
+              "variant": str, "engine": str, "seed": int | null,
+              "hidden_sizes": [int, ...],   # classifier hyperparameters
+              "negative_ratio": float, "max_epochs": int,
+              "classifier": { ... }         # MLPClassifier.to_dict():
+                                            # architecture + weights
+            }
+
+        Version 1 files (which lack the three classifier-hyperparameter
+        keys) are still readable by :meth:`load`; they fall back to the
+        constructor defaults for those knobs.
         """
         import json
 

@@ -32,15 +32,15 @@ def _replace_if_present(
     ``None`` when the clique no longer exists in the graph.
     """
     members = sorted(clique)
-    pairs = list(combinations(members, 2))
-    if any(not graph.has_edge(u, v) for u, v in pairs):
+    if any(
+        not graph.has_edge(u, v) for u, v in combinations(members, 2)
+    ):
         return None
     reconstruction.add(members)
-    vanished = []
-    for u, v in pairs:
-        if graph.decrement_edge(u, v) == 0:
-            vanished.append((u, v))
-    return vanished
+    # Weight-only decrements patch the cached CSR snapshot in place and
+    # stamp the members' touch versions; only vanished edges trigger a
+    # structural invalidation (and a pool notification).
+    return graph.decrement_clique(members)
 
 
 def sample_subcliques(
@@ -49,7 +49,10 @@ def sample_subcliques(
     """Phase 2 sampling: one random k-subset per size k in [2, |Q|-1].
 
     Yields sum_Q (|Q| - 2) sub-cliques, deduplicated, as in the paper's
-    definition of ``Q_sub``.
+    definition of ``Q_sub``.  This is the sequential-stream reference
+    sampler; the reconstruction loop uses
+    :func:`sample_subcliques_stable`, which draws the same family of
+    subsets from a counter-based stream instead.
     """
     sampled: List[Clique] = []
     seen = set()
@@ -58,6 +61,83 @@ def sample_subcliques(
         for k in range(2, len(members)):
             chosen = rng.choice(len(members), size=k, replace=False)
             subclique = frozenset(members[int(i)] for i in chosen)
+            if subclique not in seen:
+                seen.add(subclique)
+                sampled.append(subclique)
+    return sampled
+
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer: a bijective avalanche mix on uint64 arrays.
+
+    Overflow is the point - all arithmetic wraps modulo 2**64 (numpy
+    array integer ops wrap silently; only scalars would warn, and this
+    helper is only ever called on arrays).
+    """
+    x = x + np.uint64(0x9E3779B97F4A7C15)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
+
+
+def _mix64_int(x: int) -> int:
+    """SplitMix64 finalizer on a plain Python int (same permutation)."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def sample_subcliques_stable(
+    cliques: Sequence[Clique],
+    graph: WeightedGraph,
+    seed: int,
+) -> List[Clique]:
+    """Counter-based Phase 2 sampling: one k-subset per size, per clique.
+
+    Samples the same family of subsets as :func:`sample_subcliques`
+    (one ``k``-subset for every ``k in [2, |Q|-1]``, deduplicated), but
+    each subset is a *pure function* of ``(seed, members, stamp, k)``
+    where ``stamp`` is the clique's current
+    :meth:`~repro.hypergraph.graph.WeightedGraph.clique_touch_stamp`:
+    every member is ranked by a SplitMix64 hash of its id under that
+    salt and the ``k`` lowest ranks form the subset.  The key matrix
+    for all sizes of one clique is produced by a single vectorized mix.
+
+    Two properties follow.  First, sampling is **decoupled**: it
+    consumes no shared sequential RNG stream, so it cannot perturb (or
+    be perturbed by) the classifier's generator, the engine choice, or
+    how often the feature-row cache recomputes.  Second, sampling is
+    **cache-coherent**: a clique whose members are untouched since the
+    previous iteration re-proposes exactly the same sub-cliques - whose
+    feature rows are then served from the cache - while any touched
+    clique automatically draws a fresh subset (its stamp advanced).
+    """
+    sampled: List[Clique] = []
+    seen = set()
+    salt_base = _mix64_int(seed & _MASK64)
+    for clique in cliques:
+        members = sorted(clique)
+        n = len(members)
+        if n <= 2:
+            continue
+        stamp = graph.clique_touch_stamp(members)
+        clique_salt = _mix64_int(salt_base ^ stamp)
+        ids = np.array(members, dtype=np.int64).astype(np.uint64)
+        salts = _mix64(
+            np.uint64(clique_salt) ^ np.arange(2, n, dtype=np.uint64)
+        )
+        # (n - 2, n) keys: row j ranks the members for subset size j + 2.
+        order = np.argsort(
+            _mix64(ids[None, :] ^ salts[:, None]), axis=1, kind="stable"
+        )
+        for j in range(n - 2):
+            subclique = frozenset(
+                members[int(i)] for i in order[j, : j + 2]
+            )
             if subclique not in seen:
                 seen.add(subclique)
                 sampled.append(subclique)
@@ -75,6 +155,7 @@ def bidirectional_search(
     skip_negative_phase: bool = False,
     pool: Optional["CliqueCandidatePool"] = None,
     recorder: Optional[List[Tuple[Clique, str, float]]] = None,
+    sample_seed: Optional[int] = None,
 ) -> Tuple[WeightedGraph, Hypergraph, int]:
     """One iteration of Algorithm 3, mutating ``graph`` and ``reconstruction``.
 
@@ -91,7 +172,8 @@ def bidirectional_search(
     reconstruction:
         The reconstructed hypergraph so far (mutated in place).
     rng:
-        Random generator for sub-clique sampling.
+        Random generator for sub-clique sampling (the sequential
+        reference path; ignored when ``sample_seed`` is given).
     reference_graph:
         Graph used for the maximality feature (the original ``G``);
         defaults to the current graph.
@@ -107,6 +189,11 @@ def bidirectional_search(
         Optional list collecting ``(clique, phase, score)`` tuples for
         every conversion (``phase`` is ``"phase1"`` or ``"phase2"``) -
         the raw material of reconstruction provenance.
+    sample_seed:
+        When given, Phase 2 uses the counter-based
+        :func:`sample_subcliques_stable` sampler under this seed
+        (decoupled from every sequential RNG stream and coherent with
+        the feature-row cache) instead of drawing from ``rng``.
 
     Returns ``(graph, reconstruction, n_converted)`` where the count says
     how many cliques became hyperedges this iteration.
@@ -147,9 +234,11 @@ def bidirectional_search(
 
     # Phase 2: sub-cliques hidden inside the least promising cliques.
     if not skip_negative_phase and negative_indices:
-        subcliques = sample_subcliques(
-            [cliques[i] for i in negative_indices], rng
-        )
+        tail = [cliques[i] for i in negative_indices]
+        if sample_seed is not None:
+            subcliques = sample_subcliques_stable(tail, graph, sample_seed)
+        else:
+            subcliques = sample_subcliques(tail, rng)
         if subcliques:
             sub_scores = classifier.score(subcliques, graph, reference_graph)
             passing = [

@@ -291,6 +291,30 @@ def load(name: str, seed: int = 0) -> DatasetBundle:
 
     The hypergraph is generated with ``seed``, split into halves by
     emission timestamp (the paper's time-based split), and projected.
+
+    Parameters
+    ----------
+    name : str
+        Dataset key, case-insensitive; one of :func:`available`
+        (``enron``, ``eu``, ``dblp``, ...).
+    seed : int, optional
+        Seed for the generator's ``np.random.default_rng`` stream.
+        Same ``(name, seed)`` always yields a byte-identical bundle:
+        generation, the timestamp split, and both projections are fully
+        deterministic, with no dependence on global RNG state.
+
+    Returns
+    -------
+    DatasetBundle
+        The full hypergraph, its source/target halves (plus the
+        reduced-multiplicity target), the weighted projections of each
+        half, and per-node labels when the analogue has them (else
+        ``None``).
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not a known dataset key.
     """
     key = name.lower()
     if key not in DATASETS:

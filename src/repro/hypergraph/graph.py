@@ -10,27 +10,46 @@ edge removal and cheap copies.
 Aggregate quantities the reconstruction loop reads every iteration
 (``num_edges``, ``total_weight``, per-node weighted degrees, the
 ``is_empty`` stop condition) are maintained incrementally under every
-mutation, so they are O(1) instead of O(V) / O(E) scans.  A ``version``
-counter increments on each mutation and invalidates two cached derived
-views used by the numpy batch kernels:
+mutation, so they are O(1) instead of O(V) / O(E) scans.
 
-- :meth:`snapshot` - an immutable CSR-style export
-  (:class:`GraphSnapshot`) with vectorized pair-weight, MHH, and
-  common-neighbor lookups;
-- :meth:`neighbor_sets` - per-node neighbor sets shared by clique
-  maximality checks.
+Mutations are classified into two kinds with different cache behavior:
+
+- **Weight-only** mutations (a decrement that leaves positive weight, a
+  ``set_weight`` between two positive values, an ``add_edge`` on an
+  existing edge) keep the adjacency *structure* intact.  They bump the
+  ``version`` counter and the two endpoints' ``touch_version`` stamps,
+  and patch the cached CSR snapshot **in place** (two binary searches
+  plus a handful of array writes) instead of discarding it.  Structure-
+  dependent caches (neighbor sets, maximality memo) survive.
+- **Structural** mutations (an edge appearing or vanishing, a new node)
+  additionally bump ``structure_version`` and invalidate every derived
+  view: the CSR :meth:`snapshot`, :meth:`neighbor_sets`, and the
+  maximality memo.
+
+The per-node ``touch_version`` array is the invalidation key of the
+featurizers' feature-row cache (:mod:`repro.core.features`): a clique's
+cached feature row stays valid while ``max(touch_version)`` over its
+members is unchanged, so each reconstruction iteration only
+re-featurizes cliques whose nodes were actually touched.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
+import itertools
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 import numpy as np
 
 Node = int
 
 _EMPTY_SET: FrozenSet[Node] = frozenset()
+
+#: Monotone source of per-instance identifiers; the featurizers' row
+#: cache keys on ``graph.uid`` so that a recycled ``id()`` can never
+#: alias two different graphs.
+_UID_COUNTER = itertools.count()
 
 
 def _ordered(u: Node, v: Node) -> Tuple[Node, Node]:
@@ -39,7 +58,7 @@ def _ordered(u: Node, v: Node) -> Tuple[Node, Node]:
 
 @dataclasses.dataclass(frozen=True)
 class GraphSnapshot:
-    """Immutable CSR-style export of a :class:`WeightedGraph`.
+    """CSR-style export of a :class:`WeightedGraph`.
 
     Rows are ordered by ascending node id and columns are sorted within
     each row, so ``keys`` (``row * (V + 1) + col``) is globally sorted
@@ -47,6 +66,14 @@ class GraphSnapshot:
     phantom row with no neighbors; node ids absent from the graph map
     there, which makes every batch kernel total (unknown nodes simply
     have weight 0, degree 0, and no common neighbors).
+
+    Structurally the snapshot is immutable: ``keys`` / ``indptr`` /
+    ``degrees`` never change once built.  The owning graph may however
+    patch edge *weights* in place via :meth:`_patch_weight` on
+    weight-only mutations, so the same object tracks the live graph
+    across the reconstruction loop's decrements instead of being rebuilt
+    each iteration; treat a snapshot you obtained from
+    :meth:`WeightedGraph.snapshot` as a live view, not a frozen copy.
     """
 
     node_ids: np.ndarray  #: (V,) sorted node identifiers
@@ -57,7 +84,7 @@ class GraphSnapshot:
     keys: np.ndarray  #: (2E,) int64 ``row * (V + 1) + col``, ascending
     degrees: np.ndarray  #: (V + 1,) unweighted degree per row
     weighted_degrees: np.ndarray  #: (V + 1,) float64 weighted degree
-    version: int  #: graph version this snapshot was built from
+    version: int  #: graph version this snapshot reflects
 
     @property
     def num_nodes(self) -> int:
@@ -74,6 +101,32 @@ class GraphSnapshot:
         return np.fromiter(
             (index.get(u, phantom) for u in nodes), dtype=np.int64
         )
+
+    def _patch_weight(self, iu: int, iv: int, weight: float, version: int) -> bool:
+        """Rewrite the weight of the existing edge ``(iu, iv)`` in place.
+
+        Only valid for weight-only mutations: the edge must already be
+        present in both CSR directions (the adjacency *structure* is
+        unchanged, so ``keys`` / ``indptr`` / ``degrees`` stay valid).
+        Updates both weight slots and both endpoints' weighted degrees,
+        then advances :attr:`version`.  Returns False - leaving the
+        snapshot untouched - when either slot cannot be found, in which
+        case the caller must fall back to a full rebuild.
+        """
+        base = self.key_base
+        positions = []
+        for key in (iu * base + iv, iv * base + iu):
+            pos = int(np.searchsorted(self.keys, key))
+            if pos >= len(self.keys) or self.keys[pos] != key:
+                return False
+            positions.append(pos)
+        delta = float(weight) - self.wts[positions[0]]
+        self.wts[positions[0]] = weight
+        self.wts[positions[1]] = weight
+        self.weighted_degrees[iu] += delta
+        self.weighted_degrees[iv] += delta
+        object.__setattr__(self, "version", version)
+        return True
 
     def _lookup_weights(self, search: np.ndarray) -> np.ndarray:
         """Weights for encoded edge keys; 0 where the edge is absent."""
@@ -167,7 +220,22 @@ class GraphSnapshot:
 
 
 class WeightedGraph:
-    """Undirected graph with positive integer edge weights (multiplicities)."""
+    """Undirected graph with positive integer edge weights (multiplicities).
+
+    Attributes
+    ----------
+    version : int
+        Monotone counter bumped by *every* mutation; derived caches key
+        off it.
+    structure_version : int
+        Bumped only when the adjacency structure changes (an edge
+        appears or vanishes, a node is added); weight-only mutations
+        leave it alone.
+    uid : int
+        Process-unique identifier of this instance (stable across the
+        graph's lifetime, never recycled); used as a cache key by the
+        featurizers' feature-row cache.
+    """
 
     def __init__(self, nodes: Optional[Iterable[Node]] = None) -> None:
         self._adj: Dict[Node, Dict[Node, int]] = {}
@@ -175,6 +243,9 @@ class WeightedGraph:
         self._num_edges = 0
         self._total_weight = 0
         self._version = 0
+        self._structure_version = 0
+        self._uid = next(_UID_COUNTER)
+        self._touch_version: Dict[Node, int] = {}
         self._snapshot_cache: Optional[GraphSnapshot] = None
         self._neighbor_sets_cache: Optional[Dict[Node, Set[Node]]] = None
         self._maximality_memo: Optional[Dict[Tuple[Node, ...], float]] = None
@@ -186,19 +257,51 @@ class WeightedGraph:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
-    def _bump(self) -> None:
+    def _bump(self, *touched: Node) -> None:
+        """Record a *structural* mutation touching ``touched`` nodes.
+
+        Invalidates every derived view (snapshot, neighbor sets,
+        maximality memo) and stamps the touched nodes' touch versions.
+        """
         self._version += 1
+        self._structure_version += 1
+        for node in touched:
+            self._touch_version[node] = self._version
         self._snapshot_cache = None
         self._neighbor_sets_cache = None
         self._maximality_memo = None
 
+    def _patch(self, u: Node, v: Node, weight: int) -> None:
+        """Record a *weight-only* mutation of the existing edge ``{u, v}``.
+
+        The adjacency structure is unchanged, so neighbor sets and the
+        maximality memo stay valid, and the cached CSR snapshot - if one
+        was built - is patched in place instead of being rebuilt.  Only
+        the two endpoints' touch versions advance, which is what keeps
+        feature rows of unrelated cliques cache-valid.
+        """
+        self._version += 1
+        self._touch_version[u] = self._version
+        self._touch_version[v] = self._version
+        snapshot = self._snapshot_cache
+        if snapshot is not None:
+            iu = snapshot.index.get(u)
+            iv = snapshot.index.get(v)
+            if (
+                iu is None
+                or iv is None
+                or not snapshot._patch_weight(iu, iv, weight, self._version)
+            ):
+                self._snapshot_cache = None
+
     def add_node(self, node: Node) -> None:
+        """Insert an isolated node (no-op if already present)."""
         if node not in self._adj:
             self._adj[node] = {}
             self._weighted_degree[node] = 0
             # A new node can shift every row index in the sorted order.
             self._clique_rows_cache = None
-            self._bump()
+            self._bump(node)
 
     def add_edge(self, u: Node, v: Node, weight: int = 1) -> None:
         """Add ``weight`` to the multiplicity of edge ``{u, v}``."""
@@ -208,14 +311,19 @@ class WeightedGraph:
             raise ValueError(f"edge weight increments must be >= 1, got {weight}")
         self.add_node(u)
         self.add_node(v)
-        if v not in self._adj[u]:
+        current = self._adj[u].get(v, 0)
+        structural = current == 0
+        if structural:
             self._num_edges += 1
-        self._adj[u][v] = self._adj[u].get(v, 0) + weight
-        self._adj[v][u] = self._adj[v].get(u, 0) + weight
+        self._adj[u][v] = current + weight
+        self._adj[v][u] = current + weight
         self._total_weight += weight
         self._weighted_degree[u] += weight
         self._weighted_degree[v] += weight
-        self._bump()
+        if structural:
+            self._bump(u, v)
+        else:
+            self._patch(u, v, current + weight)
 
     def set_weight(self, u: Node, v: Node, weight: int) -> None:
         """Set the multiplicity of edge ``{u, v}``; 0 removes the edge."""
@@ -227,7 +335,8 @@ class WeightedGraph:
         self.add_node(u)
         self.add_node(v)
         current = self._adj[u].get(v, 0)
-        if current == 0:
+        structural = current == 0
+        if structural:
             self._num_edges += 1
         delta = weight - current
         self._adj[u][v] = weight
@@ -235,7 +344,10 @@ class WeightedGraph:
         self._total_weight += delta
         self._weighted_degree[u] += delta
         self._weighted_degree[v] += delta
-        self._bump()
+        if structural:
+            self._bump(u, v)
+        else:
+            self._patch(u, v, weight)
 
     def decrement_edge(self, u: Node, v: Node, amount: int = 1) -> int:
         """Decrease the weight of ``{u, v}``; remove the edge at zero.
@@ -252,20 +364,44 @@ class WeightedGraph:
                 f"cannot decrement edge ({u}, {v}) by {amount}; weight is {current}"
             )
         remaining = current - amount
+        self._total_weight -= amount
+        self._weighted_degree[u] -= amount
+        self._weighted_degree[v] -= amount
         if remaining == 0:
             del self._adj[u][v]
             del self._adj[v][u]
             self._num_edges -= 1
+            self._bump(u, v)
         else:
             self._adj[u][v] = remaining
             self._adj[v][u] = remaining
-        self._total_weight -= amount
-        self._weighted_degree[u] -= amount
-        self._weighted_degree[v] -= amount
-        self._bump()
+            self._patch(u, v, remaining)
         return remaining
 
+    def decrement_clique(
+        self, members: Iterable[Node], amount: int = 1
+    ) -> List[Tuple[Node, Node]]:
+        """Decrement every internal edge of a clique by ``amount``.
+
+        This is the mutation a clique-to-hyperedge conversion performs:
+        each of the ``k*(k-1)/2`` pair weights drops by ``amount`` (edges
+        vanish at zero).  Pairs are processed in sorted order for
+        determinism.  Returns the list of pairs whose edges *vanished*
+        (reached weight zero) - the notification payload of
+        :meth:`repro.core.pool.CliqueCandidatePool.notify_edges_removed`.
+
+        Raises ``KeyError`` / ``ValueError`` (from
+        :meth:`decrement_edge`) if any pair is missing or under-weight;
+        callers are expected to check existence first.
+        """
+        vanished: List[Tuple[Node, Node]] = []
+        for u, v in combinations(sorted(members), 2):
+            if self.decrement_edge(u, v, amount) == 0:
+                vanished.append((u, v))
+        return vanished
+
     def remove_edge(self, u: Node, v: Node) -> None:
+        """Delete edge ``{u, v}`` entirely (no-op when absent)."""
         current = self._adj.get(u, {}).get(v)
         if current is None:
             return
@@ -275,7 +411,7 @@ class WeightedGraph:
         self._total_weight -= current
         self._weighted_degree[u] -= current
         self._weighted_degree[v] -= current
-        self._bump()
+        self._bump(u, v)
 
     # ------------------------------------------------------------------
     # Inspection
@@ -296,6 +432,40 @@ class WeightedGraph:
     def version(self) -> int:
         """Mutation counter; derived caches key off this value."""
         return self._version
+
+    @property
+    def structure_version(self) -> int:
+        """Counter of *structural* mutations (edges appearing/vanishing,
+        nodes added).  Weight-only mutations do not advance it, so
+        purely structural caches (clustering coefficients, maximality)
+        can key off this instead of :attr:`version`."""
+        return self._structure_version
+
+    @property
+    def uid(self) -> int:
+        """Process-unique instance identifier (never recycled)."""
+        return self._uid
+
+    def touch_version(self, node: Node) -> int:
+        """The :attr:`version` at which ``node`` was last touched.
+
+        A node is *touched* by any mutation incident to it: a weight
+        change on an incident edge, an incident edge appearing or
+        vanishing, or the node itself being added.  Unknown nodes
+        return 0 (they have never been touched).
+        """
+        return self._touch_version.get(node, 0)
+
+    def clique_touch_stamp(self, members: Iterable[Node]) -> int:
+        """``max(touch_version)`` over ``members`` (0 for no members).
+
+        This is the feature-row cache's invalidation key: every feature
+        the featurizers derive from the *weights* of this graph depends
+        only on edges incident to a clique member, so a cached row is
+        stale exactly when this stamp has advanced.
+        """
+        touch = self._touch_version
+        return max((touch.get(u, 0) for u in members), default=0)
 
     def has_edge(self, u: Node, v: Node) -> bool:
         return v in self._adj.get(u, {})

@@ -14,7 +14,18 @@ from repro.hypergraph.hypergraph import Hypergraph
 def jaccard_similarity(truth: Hypergraph, reconstruction: Hypergraph) -> float:
     """``|E ∩ Ê| / |E ∪ Ê|`` over unique hyperedges.
 
-    Returns 1.0 when both hypergraphs are empty (they agree perfectly).
+    Parameters
+    ----------
+    truth, reconstruction : Hypergraph
+        The ground-truth and reconstructed hypergraphs.  Multiplicities
+        are ignored; each distinct hyperedge counts once.
+
+    Returns
+    -------
+    float
+        Similarity in ``[0, 1]``; 1.0 when both hypergraphs are empty
+        (they agree perfectly).  Pure function of the two edge sets -
+        deterministic, no RNG involved.
     """
     edges_truth = set(truth.edges())
     edges_recon = set(reconstruction.edges())
@@ -25,7 +36,20 @@ def jaccard_similarity(truth: Hypergraph, reconstruction: Hypergraph) -> float:
 
 
 def multi_jaccard_similarity(truth: Hypergraph, reconstruction: Hypergraph) -> float:
-    """``sum min(M, M̂) / sum max(M, M̂)`` over the union of hyperedges."""
+    """``sum min(M, M̂) / sum max(M, M̂)`` over the union of hyperedges.
+
+    Parameters
+    ----------
+    truth, reconstruction : Hypergraph
+        The ground-truth and reconstructed hypergraphs; per-hyperedge
+        multiplicities weight the min/max sums.
+
+    Returns
+    -------
+    float
+        Similarity in ``[0, 1]``; 1.0 when both hypergraphs are empty.
+        Deterministic - a pure function of the two multisets.
+    """
     union = set(truth.edges()) | set(reconstruction.edges())
     if not union:
         return 1.0

@@ -1,0 +1,66 @@
+"""Documentation health: the docs tree exists, links resolve, fences compile.
+
+Runs the same checker as the CI ``docs`` job (``tools/check_docs.py``)
+so a broken link or a syntax error in a documented snippet fails the
+tier-1 suite locally, before CI sees it.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestDocsTree:
+    def test_required_pages_exist(self):
+        for page in ("architecture.md", "performance.md", "benchmarks.md"):
+            assert (REPO_ROOT / "docs" / page).exists(), f"docs/{page} missing"
+
+    def test_readme_links_docs(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        for page in ("architecture.md", "performance.md", "benchmarks.md"):
+            assert f"docs/{page}" in readme, f"README does not link docs/{page}"
+
+
+class TestChecker:
+    def test_all_docs_pass_checker(self, capsys):
+        checker = _load_checker()
+        exit_code = checker.main()
+        captured = capsys.readouterr()
+        assert exit_code == 0, f"check_docs failed:\n{captured.err}"
+
+    def test_checker_catches_broken_link(self, tmp_path):
+        checker = _load_checker()
+        page = tmp_path / "page.md"
+        page.write_text("see [missing](nope/gone.md)", encoding="utf-8")
+        assert checker.check_links(page) != []
+
+    def test_checker_catches_bad_fence(self, tmp_path):
+        checker = _load_checker()
+        page = tmp_path / "page.md"
+        page.write_text(
+            "```python\ndef broken(:\n```\n", encoding="utf-8"
+        )
+        assert checker.check_fences(page) != []
+
+    def test_checker_extracts_only_python_fences(self, tmp_path):
+        checker = _load_checker()
+        page = tmp_path / "page.md"
+        page.write_text(
+            "```bash\nnot python at all |&\n```\n"
+            "```python\nx = 1\n```\n",
+            encoding="utf-8",
+        )
+        fences = checker.python_fences(page)
+        assert len(fences) == 1
+        assert fences[0][1] == "x = 1"

@@ -218,6 +218,112 @@ class TestVersionAndCaches:
         assert triangle_graph.neighbor_sets()[0] == {2}
 
 
+class TestTouchVersionsAndPatching:
+    """Per-node touch stamps + in-place CSR weight patching."""
+
+    def test_touch_bumps_only_incident_nodes(self, triangle_graph):
+        before = {u: triangle_graph.touch_version(u) for u in (0, 1, 2)}
+        triangle_graph.decrement_edge(0, 1)
+        assert triangle_graph.touch_version(0) > before[0]
+        assert triangle_graph.touch_version(1) > before[1]
+        assert triangle_graph.touch_version(2) == before[2]
+
+    def test_unknown_node_touch_is_zero(self, triangle_graph):
+        assert triangle_graph.touch_version(99) == 0
+
+    def test_clique_touch_stamp_is_member_max(self, triangle_graph):
+        triangle_graph.decrement_edge(0, 1)
+        stamp = triangle_graph.clique_touch_stamp([0, 1, 2])
+        assert stamp == max(
+            triangle_graph.touch_version(u) for u in (0, 1, 2)
+        )
+        assert triangle_graph.clique_touch_stamp([]) == 0
+
+    def test_structure_version_ignores_weight_only_mutations(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1, 3)
+        structural = graph.structure_version
+        graph.decrement_edge(0, 1)  # stays positive
+        graph.add_edge(0, 1, 2)  # existing edge
+        graph.set_weight(0, 1, 5)  # positive -> positive
+        assert graph.structure_version == structural
+        assert graph.version > 0
+        graph.decrement_edge(0, 1, 5)  # vanishes -> structural
+        assert graph.structure_version > structural
+
+    def test_weight_only_mutation_patches_snapshot_in_place(self):
+        import numpy as np
+
+        graph = WeightedGraph()
+        graph.add_edge(0, 1, 3)
+        graph.add_edge(1, 2, 2)
+        snapshot = graph.snapshot()
+        graph.decrement_edge(0, 1)
+        assert graph.snapshot() is snapshot  # patched, not rebuilt
+        assert snapshot.version == graph.version
+        a = snapshot.index_of([0, 1])
+        b = snapshot.index_of([1, 2])
+        np.testing.assert_array_equal(
+            snapshot.pair_weights(a, b), [2.0, 2.0]
+        )
+        np.testing.assert_array_equal(
+            snapshot.weighted_degrees, [2.0, 4.0, 2.0, 0.0]
+        )
+
+    def test_structural_mutation_rebuilds_snapshot(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1, 1)
+        graph.add_edge(1, 2, 2)
+        snapshot = graph.snapshot()
+        graph.decrement_edge(0, 1)  # hits zero -> edge vanishes
+        assert graph.snapshot() is not snapshot
+
+    def test_weight_only_mutation_keeps_neighbor_sets(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1, 3)
+        sets = graph.neighbor_sets()
+        graph.decrement_edge(0, 1)
+        assert graph.neighbor_sets() is sets  # structure unchanged
+
+    def test_patched_snapshot_matches_rebuild(self):
+        """After any mix of patches, the live snapshot must agree with
+        a from-scratch rebuild on every array."""
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        graph = WeightedGraph()
+        from itertools import combinations
+
+        for u, v in combinations(range(8), 2):
+            if rng.random() < 0.5:
+                graph.add_edge(u, v, int(rng.integers(2, 6)))
+        live = graph.snapshot()
+        for u, v in list(graph.edges())[::2]:
+            graph.decrement_edge(u, v)  # weights stay positive
+        assert graph.snapshot() is live
+        rebuilt = graph._build_snapshot()
+        np.testing.assert_array_equal(live.wts, rebuilt.wts)
+        np.testing.assert_array_equal(live.keys, rebuilt.keys)
+        np.testing.assert_array_equal(
+            live.weighted_degrees, rebuilt.weighted_degrees
+        )
+
+    def test_decrement_clique_returns_vanished_pairs(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1, 2)
+        graph.add_edge(0, 2, 1)
+        graph.add_edge(1, 2, 3)
+        vanished = graph.decrement_clique([0, 1, 2])
+        assert vanished == [(0, 2)]
+        assert graph.weight(0, 1) == 1
+        assert graph.weight(1, 2) == 2
+        assert not graph.has_edge(0, 2)
+
+    def test_uids_are_unique(self, triangle_graph):
+        assert triangle_graph.uid != triangle_graph.copy().uid
+        assert WeightedGraph().uid != WeightedGraph().uid
+
+
 class TestSnapshotKernels:
     def test_pair_weights_lookup(self, triangle_graph):
         import numpy as np

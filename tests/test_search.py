@@ -9,6 +9,7 @@ from repro.core.search import (
     bidirectional_search,
     decay_threshold,
     sample_subcliques,
+    sample_subcliques_stable,
 )
 from repro.hypergraph.graph import WeightedGraph
 from repro.hypergraph.hypergraph import Hypergraph
@@ -77,6 +78,81 @@ class TestSampleSubcliques:
 
     def test_size_two_cliques_yield_nothing(self, rng):
         assert sample_subcliques([frozenset({0, 1})], rng) == []
+
+
+class TestStableSampling:
+    """Counter-based Phase 2 sampler: deterministic, decoupled, and
+    coherent with the feature-row cache's touch stamps."""
+
+    def _graph_and_cliques(self):
+        graph = WeightedGraph()
+        from itertools import combinations
+
+        for u, v in combinations(range(5), 2):
+            graph.add_edge(u, v, 2)
+        for u, v in combinations(range(10, 14), 2):
+            graph.add_edge(u, v, 2)
+        return graph, [frozenset(range(5)), frozenset(range(10, 14))]
+
+    def test_counts_follow_paper_formula(self):
+        graph, cliques = self._graph_and_cliques()
+        sampled = sample_subcliques_stable(cliques, graph, seed=7)
+        assert len(sampled) <= sum(len(c) - 2 for c in cliques)
+        assert len(set(sampled)) == len(sampled)
+
+    def test_subcliques_are_proper_subsets(self):
+        graph, cliques = self._graph_and_cliques()
+        for sub in sample_subcliques_stable(cliques, graph, seed=7):
+            parent = next(c for c in cliques if sub <= c)
+            assert 2 <= len(sub) < len(parent)
+
+    def test_deterministic_and_seed_sensitive(self):
+        graph, cliques = self._graph_and_cliques()
+        first = sample_subcliques_stable(cliques, graph, seed=7)
+        second = sample_subcliques_stable(cliques, graph, seed=7)
+        assert first == second
+        other = sample_subcliques_stable(cliques, graph, seed=8)
+        assert first != other  # astronomically unlikely to collide
+
+    def test_consumes_no_shared_rng_stream(self):
+        graph, cliques = self._graph_and_cliques()
+        rng = np.random.default_rng(0)
+        before = rng.bit_generator.state
+        sample_subcliques_stable(cliques, graph, seed=7)
+        assert rng.bit_generator.state == before
+
+    def test_untouched_cliques_resample_identically(self):
+        graph, cliques = self._graph_and_cliques()
+        first = sample_subcliques_stable(cliques, graph, seed=7)
+        # Touch only the second component.
+        graph.decrement_edge(10, 11)
+        second = sample_subcliques_stable(cliques, graph, seed=7)
+        first_a = [s for s in first if s <= cliques[0]]
+        second_a = [s for s in second if s <= cliques[0]]
+        assert first_a == second_a  # untouched clique: same draws
+
+    def test_touched_clique_redraws(self):
+        """Across seeds, a touch must change at least one clique's
+        draws (per-seed it may coincide for small cliques)."""
+        changed = 0
+        for seed in range(10):
+            graph, cliques = self._graph_and_cliques()
+            first = sample_subcliques_stable(cliques, graph, seed=seed)
+            graph.decrement_edge(0, 1)
+            second = sample_subcliques_stable(cliques, graph, seed=seed)
+            if [s for s in first if s <= cliques[0]] != [
+                s for s in second if s <= cliques[0]
+            ]:
+                changed += 1
+        assert changed >= 5
+
+    def test_size_two_cliques_yield_nothing(self, triangle_graph):
+        assert (
+            sample_subcliques_stable(
+                [frozenset({0, 1})], triangle_graph, seed=0
+            )
+            == []
+        )
 
 
 class TestBidirectionalSearch:

@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Documentation checker: relative links resolve, python fences compile.
+
+Scans the repository's markdown documentation (``README.md`` plus
+everything under ``docs/``) and fails with a nonzero exit code when:
+
+- a relative markdown link points at a file that does not exist
+  (external ``http(s)``/``mailto`` links are not fetched), or
+- a fenced ```` ```python ```` code block does not compile (syntax
+  check via :func:`compile`; nothing is executed).
+
+Run from anywhere::
+
+    python tools/check_docs.py
+
+Used by the CI ``docs`` job and by ``tests/test_docs.py`` so the tier-1
+suite catches broken documentation before CI does.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _label(path: Path) -> Path:
+    """``path`` relative to the repo root when inside it, else as-is."""
+    try:
+        return path.relative_to(REPO_ROOT)
+    except ValueError:
+        return path
+
+#: inline markdown links: [text](target), skipping images' leading !
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_FENCE_RE = re.compile(r"^```(\w*)\s*$")
+
+
+def doc_files() -> List[Path]:
+    """README.md plus every markdown file under docs/."""
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").rglob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def check_links(path: Path) -> List[str]:
+    """Relative links in ``path`` that do not resolve to a file."""
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            errors.append(f"{_label(path)}: broken link -> {target}")
+    return errors
+
+
+def python_fences(path: Path) -> List[Tuple[int, str]]:
+    """(start_line, source) for every ```python fenced block."""
+    blocks = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    in_python = False
+    start = 0
+    buffer: List[str] = []
+    for number, line in enumerate(lines, start=1):
+        fence = _FENCE_RE.match(line.strip())
+        if fence is None:
+            if in_python:
+                buffer.append(line)
+            continue
+        if in_python:
+            blocks.append((start, "\n".join(buffer)))
+            in_python = False
+            buffer = []
+        elif fence.group(1).lower() == "python":
+            in_python = True
+            start = number + 1
+    if in_python:
+        # Unclosed fence at EOF: still check what was written so a
+        # missing closing ``` cannot hide a broken snippet.
+        blocks.append((start, "\n".join(buffer)))
+    return blocks
+
+
+def check_fences(path: Path) -> List[str]:
+    """Python fences in ``path`` that fail to compile."""
+    errors = []
+    for start, source in python_fences(path):
+        try:
+            compile(source, f"{path.name}:fence@{start}", "exec")
+        except SyntaxError as exc:
+            errors.append(
+                f"{_label(path)}:{start}: python fence does "
+                f"not compile: {exc.msg} (line {exc.lineno} of the block)"
+            )
+    return errors
+
+
+def main() -> int:
+    errors: List[str] = []
+    files = doc_files()
+    if len(files) < 2:
+        errors.append("docs/ tree is missing or empty")
+    n_fences = 0
+    for path in files:
+        errors.extend(check_links(path))
+        fences = python_fences(path)
+        n_fences += len(fences)
+        errors.extend(check_fences(path))
+    for error in errors:
+        print(f"ERROR: {error}", file=sys.stderr)
+    print(
+        f"checked {len(files)} markdown files, {n_fences} python fences: "
+        f"{len(errors)} error(s)"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
