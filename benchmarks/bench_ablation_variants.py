@@ -23,10 +23,12 @@ DATASET_NAMES = ["crime", "hosts", "enron", "eu", "dblp"]
 VARIANTS = ["MARIOH-M", "MARIOH-F", "MARIOH-B", "MARIOH"]
 
 
-def test_ablation_variants(benchmark):
+def test_ablation_variants(benchmark, grid_workers):
     bundles = [load(name, seed=0) for name in DATASET_NAMES]
     table = benchmark.pedantic(
-        lambda: accuracy_table(VARIANTS, bundles, seeds=[0, 1, 2]),
+        lambda: accuracy_table(
+            VARIANTS, bundles, seeds=[0, 1, 2], workers=grid_workers
+        ),
         rounds=1,
         iterations=1,
     )
@@ -49,7 +51,16 @@ def test_ablation_variants(benchmark):
     }
     lines.append("")
     lines.append(bar_chart(averages, title="average across datasets"))
-    emit("ablation_variants", "\n".join(lines))
+    emit(
+        "ablation_variants",
+        "\n".join(lines),
+        payload={
+            "workers": grid_workers,
+            "seeds": [0, 1, 2],
+            "table": table,
+            "averages": averages,
+        },
+    )
 
     # Shape: the full method is within noise of the best variant on
     # average (individual variants may win individual datasets, as the

@@ -74,7 +74,20 @@ def test_fig4_sensitivity(benchmark):
             lines.append(f"  {parameter:<12} {formatted}")
             scores = [s for _, s in points]
             ranges.append(max(scores) - min(scores))
-    emit("fig4_sensitivity", "\n".join(lines))
+    emit(
+        "fig4_sensitivity",
+        "\n".join(lines),
+        payload={
+            "dataset": DATASET,
+            "sweeps": {
+                label: {
+                    parameter: [[float(v), float(s)] for v, s in points]
+                    for parameter, points in series.items()
+                }
+                for label, series in sweeps.items()
+            },
+        },
+    )
 
     # Shape: robustness - each sweep's score range stays bounded.  The
     # paper notes the Hosts dataset fluctuates most, so allow a wide but

@@ -54,7 +54,18 @@ def test_fig7_scalability(benchmark):
         lines.append(f"{count:>10d} {f_time:>14.4f} {s_time:>18.4f}")
     lines.append(f"\nlog-log slope filtering      = {filtering_slope:.2f}")
     lines.append(f"log-log slope bidirectional  = {search_slope:.2f}")
-    emit("fig7_scalability", "\n".join(lines))
+    emit(
+        "fig7_scalability",
+        "\n".join(lines),
+        payload={
+            "scales": SCALES,
+            "edge_counts": [int(c) for c in edge_counts],
+            "filtering_seconds": [float(t) for t in filtering_times],
+            "bidirectional_seconds": [float(t) for t in search_times],
+            "filtering_slope": filtering_slope,
+            "bidirectional_slope": search_slope,
+        },
+    )
 
     # Shape: near-linear scaling.  Timing noise on small inputs pushes
     # slopes around, so assert sub-quadratic with a healthy margin.

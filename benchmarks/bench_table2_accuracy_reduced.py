@@ -45,11 +45,15 @@ METHODS = [
 ]
 
 
-def test_table2_full_sweep(benchmark):
+def test_table2_full_sweep(benchmark, grid_workers):
     bundles = [load(name, seed=0) for name in DATASET_NAMES]
     table = benchmark.pedantic(
         lambda: accuracy_table(
-            METHODS, bundles, preserve_multiplicity=False, seeds=[0, 1]
+            METHODS,
+            bundles,
+            preserve_multiplicity=False,
+            seeds=[0, 1],
+            workers=grid_workers,
         ),
         rounds=1,
         iterations=1,
@@ -61,6 +65,7 @@ def test_table2_full_sweep(benchmark):
             DATASET_NAMES,
             title="Table II - Jaccard similarity x100 (multiplicity-reduced)",
         ),
+        payload={"workers": grid_workers, "seeds": [0, 1], "table": table},
     )
     # Shape assertions: MARIOH within noise of the best on every dataset.
     for dataset in DATASET_NAMES:

@@ -18,7 +18,7 @@ from repro.experiments.harness import MULTIPLICITY_CAPABLE
 DATASET_NAMES = ["crime", "hosts", "directors", "foursquare", "enron", "pschool", "hschool", "eu", "dblp", "mag-topcs"]
 
 
-def test_table3_full_sweep(benchmark):
+def test_table3_full_sweep(benchmark, grid_workers):
     bundles = [load(name, seed=0) for name in DATASET_NAMES]
     table = benchmark.pedantic(
         lambda: accuracy_table(
@@ -26,6 +26,7 @@ def test_table3_full_sweep(benchmark):
             bundles,
             preserve_multiplicity=True,
             seeds=[0, 1],
+            workers=grid_workers,
         ),
         rounds=1,
         iterations=1,
@@ -37,6 +38,7 @@ def test_table3_full_sweep(benchmark):
             DATASET_NAMES,
             title="Table III - multi-Jaccard similarity x100 (multiplicity-preserved)",
         ),
+        payload={"workers": grid_workers, "seeds": [0, 1], "table": table},
     )
     for dataset in DATASET_NAMES:
         best = max(table[m][dataset]["mean"] for m in MULTIPLICITY_CAPABLE)

@@ -1,0 +1,33 @@
+"""Repo-level pytest options shared by the test and benchmark suites.
+
+Options must be registered in an *initial* conftest (one next to the
+invocation's arguments or the rootdir), so both suites' knobs live here:
+
+``--workers N``
+    Worker processes for grid-shaped benchmarks (``bench_table2``,
+    ``bench_table3``, ``bench_ablation_variants``).  Results are
+    byte-identical for any worker count; this only trades wall clock for
+    cores.  Consumed by the ``grid_workers`` fixture in
+    ``benchmarks/conftest.py``.
+
+``--seed-matrix S1,S2,...``
+    Seeds swept by tests marked ``@pytest.mark.seed_matrix`` (via their
+    ``matrix_seed`` parameter).  Defaults to a single seed locally; CI
+    passes ``--seed-matrix 0,1,2`` so determinism tests cover three
+    seeds.  Consumed by ``tests/conftest.py``.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for grid-shaped benchmarks (default 1)",
+    )
+    parser.addoption(
+        "--seed-matrix",
+        default="0",
+        help="comma-separated seeds for seed_matrix-marked determinism "
+        "tests (CI uses 0,1,2)",
+    )

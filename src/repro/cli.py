@@ -10,11 +10,16 @@ Commands
     Sweep several methods over one dataset and print a mini Table II.
 ``storage``
     Report storage savings of hypergraph vs projected-graph form.
+``run-grid``
+    Shard a (method x dataset x seed) experiment grid over worker
+    processes with checkpoint/resume, or drive a ``benchmarks/bench_*``
+    script with a worker count.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -159,7 +164,160 @@ def build_parser() -> argparse.ArgumentParser:
         help="standard dataset/method set instead of the quick subset",
     )
     report.add_argument("--output", help="write the markdown report here")
+
+    grid = commands.add_parser(
+        "run-grid", help="shard an experiment grid over worker processes"
+    )
+    grid.add_argument(
+        "--preset", choices=["table2", "table3", "ablation", "quick"],
+        help="named grid (paper table/ablation); overrides methods/datasets",
+    )
+    grid.add_argument(
+        "--methods", nargs="*", help="method names (default: full registry)"
+    )
+    grid.add_argument(
+        "--datasets", nargs="*", choices=list(available()),
+        help="dataset names (default: crime)",
+    )
+    grid.add_argument(
+        "--seeds", nargs="*", type=int,
+        help="explicit sweep seeds (default: the preset's, or 0)",
+    )
+    grid.add_argument(
+        "--n-seeds", type=int,
+        help="derive this many per-cell seeds from a SplitMix64 stream "
+        "keyed by --base-seed instead of listing them explicitly",
+    )
+    grid.add_argument(
+        "--base-seed", type=int, default=0,
+        help="base of the derived per-cell seed stream (with --n-seeds)",
+    )
+    grid.add_argument(
+        "--preserve-multiplicity", action="store_true",
+        help="Table III setting (multi-Jaccard) instead of Table II",
+    )
+    grid.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes; 1 runs inline (results are byte-identical "
+        "for any worker count)",
+    )
+    grid.add_argument(
+        "--checkpoint",
+        help="JSON checkpoint path: completed cells persist here and a "
+        "rerun resumes from them",
+    )
+    grid.add_argument(
+        "--max-cells", type=int,
+        help="stop after this many new cells (checkpoint keeps them)",
+    )
+    grid.add_argument("--output", help="write the full grid result JSON here")
+    grid.add_argument(
+        "--bench",
+        help="instead of an inline grid, drive benchmarks/bench_<NAME>.py "
+        "through pytest, forwarding --workers",
+    )
     return parser
+
+
+def _cmd_run_grid(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.orchestrator import GridSpec, preset_grid, run_grid
+
+    if args.bench:
+        return _drive_bench(args.bench, args.workers)
+
+    if args.preset:
+        spec = preset_grid(args.preset, seeds=args.seeds)
+        if args.preserve_multiplicity:
+            import dataclasses
+
+            spec = dataclasses.replace(spec, preserve_multiplicity=True)
+    else:
+        methods = tuple(args.methods) if args.methods else tuple(method_registry())
+        datasets = tuple(args.datasets) if args.datasets else ("crime",)
+        if args.n_seeds:
+            spec = GridSpec(
+                methods=methods,
+                datasets=datasets,
+                preserve_multiplicity=args.preserve_multiplicity,
+                seed_mode="derived",
+                base_seed=args.base_seed,
+                n_seeds=args.n_seeds,
+            )
+        else:
+            spec = GridSpec(
+                methods=methods,
+                datasets=datasets,
+                seeds=tuple(args.seeds) if args.seeds else (args.seed,),
+                preserve_multiplicity=args.preserve_multiplicity,
+            )
+
+    n_cells = len(spec.cells())
+    print(
+        f"grid: {len(spec.methods)} methods x {len(spec.datasets)} datasets "
+        f"x {len(spec.seed_indices)} seeds = {n_cells} cells, "
+        f"{args.workers} worker(s)"
+    )
+    result = run_grid(
+        spec,
+        workers=args.workers,
+        checkpoint_path=args.checkpoint,
+        max_cells=args.max_cells,
+    )
+    metric = "multi-Jaccard" if spec.preserve_multiplicity else "Jaccard"
+    print(
+        format_table(
+            result.table(), list(spec.datasets), title=f"{metric} x100"
+        )
+    )
+    print(
+        f"\ncompleted {result.n_completed}/{n_cells} cells in "
+        f"{result.wall_seconds:.2f}s wall"
+        + (f" ({len(result.failures)} failed)" if result.failures else "")
+    )
+    for key, failure in sorted(result.failures.items()):
+        print(
+            f"  FAILED {key}: {failure.get('error_type')}: "
+            f"{failure.get('error_message')}"
+        )
+    if args.output:
+        payload = {
+            "spec": spec.as_dict(),
+            "cells": result.cells,
+            "wall_seconds": result.wall_seconds,
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote grid result to {args.output}")
+    return 1 if result.failures else 0
+
+
+def _drive_bench(name: str, workers: int) -> int:
+    """Run one benchmarks/bench_*.py script through pytest with --workers."""
+    import subprocess
+    from pathlib import Path
+
+    stem = name if name.startswith("bench_") else f"bench_{name}"
+    repo_root = Path(__file__).resolve().parents[2]
+    script = repo_root / "benchmarks" / f"{stem}.py"
+    if not script.exists():
+        candidates = sorted(
+            p.stem for p in (repo_root / "benchmarks").glob("bench_*.py")
+        )
+        print(f"no such benchmark {script.name!r}; known: {', '.join(candidates)}")
+        return 2
+    env = dict(os.environ)
+    src = str(repo_root / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    command = [
+        sys.executable, "-m", "pytest", "-q", str(script),
+        "--workers", str(workers),
+    ]
+    print("driving:", " ".join(command))
+    return subprocess.call(command, env=env, cwd=repo_root)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -182,6 +340,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "evaluate": _cmd_evaluate,
         "storage": _cmd_storage,
         "report": _cmd_report,
+        "run-grid": _cmd_run_grid,
     }
     return handlers[args.command](args)
 

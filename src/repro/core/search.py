@@ -20,6 +20,13 @@ from repro.hypergraph.cliques import Clique, maximal_cliques_list
 from repro.hypergraph.graph import WeightedGraph
 from repro.hypergraph.hypergraph import Hypergraph
 
+# SplitMix64 primitives live in repro.rng so the orchestrator and the
+# MLP shuffle stream share the exact same mix; the aliases keep this
+# module's historical names.
+from repro.rng import MASK64 as _MASK64
+from repro.rng import mix64 as _mix64
+from repro.rng import mix64_int as _mix64_int
+
 
 def _replace_if_present(
     clique: Clique, graph: WeightedGraph, reconstruction: Hypergraph
@@ -65,30 +72,6 @@ def sample_subcliques(
                 seen.add(subclique)
                 sampled.append(subclique)
     return sampled
-
-
-_MASK64 = 0xFFFFFFFFFFFFFFFF
-
-
-def _mix64(x: np.ndarray) -> np.ndarray:
-    """SplitMix64 finalizer: a bijective avalanche mix on uint64 arrays.
-
-    Overflow is the point - all arithmetic wraps modulo 2**64 (numpy
-    array integer ops wrap silently; only scalars would warn, and this
-    helper is only ever called on arrays).
-    """
-    x = x + np.uint64(0x9E3779B97F4A7C15)
-    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
-    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
-    return x ^ (x >> np.uint64(31))
-
-
-def _mix64_int(x: int) -> int:
-    """SplitMix64 finalizer on a plain Python int (same permutation)."""
-    x = (x + 0x9E3779B97F4A7C15) & _MASK64
-    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
-    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
-    return x ^ (x >> 31)
 
 
 def sample_subcliques_stable(

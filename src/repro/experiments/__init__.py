@@ -12,6 +12,12 @@ from repro.experiments.harness import (
     method_registry,
     run_method,
 )
+from repro.experiments.orchestrator import (
+    GridResult,
+    GridSpec,
+    preset_grid,
+    run_grid,
+)
 from repro.experiments.tables import format_table
 
 __all__ = [
@@ -21,4 +27,8 @@ __all__ = [
     "make_method",
     "method_registry",
     "format_table",
+    "GridSpec",
+    "GridResult",
+    "run_grid",
+    "preset_grid",
 ]

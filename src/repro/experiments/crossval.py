@@ -14,7 +14,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.datasets.registry import DatasetBundle
-from repro.experiments.harness import run_method
 
 
 @dataclasses.dataclass(frozen=True)
@@ -56,17 +55,44 @@ def seed_sweep(
     bundle: DatasetBundle,
     seeds: Sequence[int],
     preserve_multiplicity: bool = False,
+    workers: int = 1,
+    dataset_seed: int = 0,
 ) -> SeedSweepResult:
-    """Run ``method`` on ``bundle`` once per seed."""
+    """Run ``method`` on ``bundle`` once per seed.
+
+    Routes through the orchestrator: ``workers=1`` executes inline
+    against the provided bundle (byte-identical to the historical serial
+    loop); ``workers>1`` shards the seeds across a process pool, with
+    pool workers reloading the bundle from the registry via
+    ``(bundle.name, dataset_seed)``.
+    """
+    from repro.experiments.orchestrator import GridSpec, cell_key, run_grid
+
     if not seeds:
         raise ValueError("need at least one seed")
-    scores = []
-    for seed in seeds:
-        result = run_method(
-            method, bundle, preserve_multiplicity=preserve_multiplicity, seed=seed
+    spec = GridSpec(
+        methods=(method,),
+        datasets=(bundle.name,),
+        seeds=tuple(seeds),
+        preserve_multiplicity=preserve_multiplicity,
+        dataset_seed=dataset_seed,
+    )
+    result = run_grid(
+        spec, workers=workers, inline_bundles={bundle.name: bundle}
+    )
+    if result.failures:
+        key, failure = next(iter(sorted(result.failures.items())))
+        raise RuntimeError(
+            f"seed_sweep cell {key} failed: "
+            f"{failure.get('error_type')}: {failure.get('error_message')}"
         )
+    scores = []
+    for index in range(len(seeds)):
+        record = result.cells[cell_key(method, bundle.name, index)]
         scores.append(
-            result.multi_jaccard if preserve_multiplicity else result.jaccard
+            record["multi_jaccard"]
+            if preserve_multiplicity
+            else record["jaccard"]
         )
     return SeedSweepResult(
         method=method, dataset=bundle.name, scores=tuple(scores)

@@ -10,9 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Callable, Dict, List, Optional, Sequence
-
-import numpy as np
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.baselines import (
     BayesianMDL,
@@ -133,33 +131,41 @@ def accuracy_table(
     bundles: Sequence[DatasetBundle],
     preserve_multiplicity: bool = False,
     seeds: Sequence[int] = (0,),
+    workers: int = 1,
+    dataset_seed: int = 0,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
-    """Sweep methods x datasets x seeds.
+    """Sweep methods x datasets x seeds, optionally sharded over workers.
 
     Returns ``{method: {dataset: {"mean": m, "std": s, "runtime": t}}}``
     where the score is Jaccard (reduced setting) or multi-Jaccard
     (preserved setting), scaled by 100 as in the paper's tables.
+
+    Execution routes through the orchestrator
+    (:func:`repro.experiments.orchestrator.run_grid`): ``workers=1``
+    runs cells inline against the provided bundles (byte-identical to
+    the historical serial loop); ``workers>1`` shards cells across a
+    process pool, in which case pool workers reload each bundle from the
+    registry - the bundles must have been loaded with ``dataset_seed``
+    for the reloads to be bitwise-identical.
     """
-    table: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for method in methods:
-        table[method] = {}
-        for bundle in bundles:
-            scores: List[float] = []
-            runtimes: List[float] = []
-            for seed in seeds:
-                result = run_method(
-                    method, bundle, preserve_multiplicity, seed=seed
-                )
-                score = (
-                    result.multi_jaccard
-                    if preserve_multiplicity
-                    else result.jaccard
-                )
-                scores.append(100.0 * score)
-                runtimes.append(result.runtime_seconds)
-            table[method][bundle.name] = {
-                "mean": float(np.mean(scores)),
-                "std": float(np.std(scores)),
-                "runtime": float(np.mean(runtimes)),
-            }
-    return table
+    from repro.experiments.orchestrator import GridSpec, run_grid
+
+    spec = GridSpec(
+        methods=tuple(methods),
+        datasets=tuple(bundle.name for bundle in bundles),
+        seeds=tuple(seeds),
+        preserve_multiplicity=preserve_multiplicity,
+        dataset_seed=dataset_seed,
+    )
+    result = run_grid(
+        spec,
+        workers=workers,
+        inline_bundles={bundle.name: bundle for bundle in bundles},
+    )
+    if result.failures:
+        key, failure = next(iter(sorted(result.failures.items())))
+        raise RuntimeError(
+            f"accuracy_table cell {key} failed: "
+            f"{failure.get('error_type')}: {failure.get('error_message')}"
+        )
+    return result.table()

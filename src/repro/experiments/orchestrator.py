@@ -1,0 +1,601 @@
+"""Parallel experiment orchestrator: sharded (method, dataset, seed) grids.
+
+The paper's Tables II/III and Figs. 4-7 are embarrassingly parallel
+grids - every (method, dataset, seed) cell is independent of every
+other.  This module shards those cells across a process pool while
+keeping the *results* byte-identical no matter how many workers run or
+in what order cells complete:
+
+- **Per-cell seeding is counter-based.**  A cell's seed is a pure
+  SplitMix64 function of its coordinates (or the explicit sweep seed),
+  never a draw from a shared sequential stream, so scheduling cannot
+  perturb it.
+- **Cells are pure functions.**  A worker reloads the dataset bundle
+  from its ``(name, dataset_seed)`` key (bundle generation is bitwise
+  deterministic) and runs the method with the cell seed; no state flows
+  between cells.
+- **Checkpointing is incremental and atomic.**  After every completed
+  cell the full result map is rewritten via ``os.replace``, so a killed
+  grid resumes from its last completed cell and the merged result is
+  identical to an uninterrupted run.
+- **Failures are quarantined.**  A cell that raises is recorded as
+  ``status="failed"`` with the exception; a cell that hard-crashes its
+  worker process (pool breakage) is retried up to ``max_attempts`` times
+  and then recorded as failed - either way the rest of the grid
+  completes.
+
+``accuracy_table`` and ``seed_sweep`` route through :func:`run_grid`, so
+the serial experiment surface and the sharded one share a single cell
+executor.  The ``python -m repro run-grid`` subcommand drives the same
+machinery (and the ``bench_table*``/``bench_fig*`` scripts) from the
+command line.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.rng import MASK64, mix_tokens
+
+#: Method-name prefix that triggers deliberate cell failure.  Used by the
+#: determinism/regression harness to exercise the failure paths:
+#: ``FAULT:raise`` raises inside the cell executor (recorded failure),
+#: ``FAULT:exit`` kills the executing process outright (simulates a
+#: crashed worker; with ``workers=1`` this kills the caller, so only use
+#: it against a pool).
+FAULT_PREFIX = "FAULT:"
+
+#: Checkpoint schema version.
+CHECKPOINT_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class GridSpec:
+    """A (methods x datasets x seeds) experiment grid.
+
+    ``seed_mode="explicit"`` runs cell ``(m, d, i)`` with seed
+    ``seeds[i]`` - exactly what the serial ``accuracy_table`` /
+    ``seed_sweep`` loops did, preserving their numbers.
+    ``seed_mode="derived"`` ignores ``seeds`` and derives the cell seed
+    as ``mix_tokens(base_seed, (method, dataset, seed_index))`` for
+    ``seed_index in range(n_seeds)``: every cell gets a decorrelated
+    63-bit seed that is a pure function of its coordinates.
+    """
+
+    methods: Tuple[str, ...]
+    datasets: Tuple[str, ...]
+    seeds: Tuple[int, ...] = (0,)
+    preserve_multiplicity: bool = False
+    dataset_seed: int = 0
+    seed_mode: str = "explicit"
+    base_seed: int = 0
+    n_seeds: int = 1
+
+    def __post_init__(self) -> None:
+        if self.seed_mode not in ("explicit", "derived"):
+            raise ValueError(f"unknown seed_mode {self.seed_mode!r}")
+        if self.seed_mode == "explicit" and not self.seeds:
+            raise ValueError("explicit seed_mode needs at least one seed")
+        if self.seed_mode == "derived" and self.n_seeds < 1:
+            raise ValueError("derived seed_mode needs n_seeds >= 1")
+        if not self.methods or not self.datasets:
+            raise ValueError("grid needs at least one method and one dataset")
+
+    @property
+    def seed_indices(self) -> range:
+        if self.seed_mode == "explicit":
+            return range(len(self.seeds))
+        return range(self.n_seeds)
+
+    def cell_seed(self, method: str, dataset: str, seed_index: int) -> int:
+        if self.seed_mode == "explicit":
+            return int(self.seeds[seed_index])
+        derived = mix_tokens(
+            self.base_seed & MASK64, (method, dataset, seed_index)
+        )
+        return derived & 0x7FFFFFFFFFFFFFFF
+
+    def cells(self) -> List[Dict[str, object]]:
+        """Cell payloads in canonical (method, dataset, seed) order."""
+        return [
+            {
+                "key": cell_key(method, dataset, index),
+                "method": method,
+                "dataset": dataset,
+                "seed_index": index,
+                "cell_seed": self.cell_seed(method, dataset, index),
+                "preserve_multiplicity": self.preserve_multiplicity,
+                "dataset_seed": self.dataset_seed,
+            }
+            for method in self.methods
+            for dataset in self.datasets
+            for index in self.seed_indices
+        ]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "methods": list(self.methods),
+            "datasets": list(self.datasets),
+            "seeds": list(self.seeds),
+            "preserve_multiplicity": self.preserve_multiplicity,
+            "dataset_seed": self.dataset_seed,
+            "seed_mode": self.seed_mode,
+            "base_seed": self.base_seed,
+            "n_seeds": self.n_seeds,
+        }
+
+    def fingerprint(self) -> str:
+        """Canonical identity of the grid, pinned into checkpoints."""
+        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "GridSpec":
+        return cls(
+            methods=tuple(payload["methods"]),
+            datasets=tuple(payload["datasets"]),
+            seeds=tuple(int(s) for s in payload["seeds"]),
+            preserve_multiplicity=bool(payload["preserve_multiplicity"]),
+            dataset_seed=int(payload["dataset_seed"]),
+            seed_mode=str(payload["seed_mode"]),
+            base_seed=int(payload["base_seed"]),
+            n_seeds=int(payload["n_seeds"]),
+        )
+
+
+def cell_key(method: str, dataset: str, seed_index: int) -> str:
+    """Stable identifier of one grid cell."""
+    return f"{method}|{dataset}|{seed_index}"
+
+
+@lru_cache(maxsize=16)
+def _load_bundle(name: str, seed: int):
+    """Per-process bundle cache: generation is deterministic, so cells
+    sharing a dataset reuse one bitwise-identical bundle."""
+    from repro.datasets.registry import load
+
+    return load(name, seed=seed)
+
+
+def _execute_cell(
+    payload: Dict[str, object], bundle: Optional[object] = None
+) -> Dict[str, object]:
+    """Run one grid cell; always returns a record, never raises.
+
+    Importable at module top level so process pools can pickle it under
+    any start method.  ``bundle`` is an inline-only shortcut (the pool
+    always reloads from the registry, which is bitwise-identical).
+    ``FAULT:*`` methods are the harness's fault injection: ``raise``
+    exercises the recorded-failure path, ``exit`` kills the process to
+    exercise pool breakage.
+    """
+    from repro.experiments.harness import run_method
+
+    method = str(payload["method"])
+    record: Dict[str, object] = {
+        "key": payload["key"],
+        "method": method,
+        "dataset": payload["dataset"],
+        "seed_index": payload["seed_index"],
+        "cell_seed": payload["cell_seed"],
+    }
+    try:
+        if method.startswith(FAULT_PREFIX):
+            kind = method[len(FAULT_PREFIX) :]
+            if kind == "exit":
+                os._exit(1)
+            raise RuntimeError(f"injected fault {kind!r}")
+        if bundle is None:
+            bundle = _load_bundle(
+                str(payload["dataset"]), int(payload["dataset_seed"])
+            )
+        started = time.perf_counter()
+        result = run_method(
+            method,
+            bundle,
+            preserve_multiplicity=bool(payload["preserve_multiplicity"]),
+            seed=int(payload["cell_seed"]),
+        )
+        record.update(
+            status="ok",
+            jaccard=result.jaccard,
+            multi_jaccard=result.multi_jaccard,
+            runtime_seconds=result.runtime_seconds,
+            wall_seconds=time.perf_counter() - started,
+        )
+    except Exception as exc:
+        # Cell isolation: no *error* escapes.  KeyboardInterrupt and
+        # SystemExit deliberately propagate - an operator's Ctrl+C must
+        # abort the grid (completed cells stay checkpointed), not be
+        # recorded as a permanent cell failure.
+        record.update(
+            status="failed",
+            error_type=type(exc).__name__,
+            error_message=str(exc),
+            error_traceback=traceback.format_exc(),
+        )
+    return record
+
+
+class GridResult:
+    """Completed (or partially completed) grid: one record per cell."""
+
+    def __init__(
+        self,
+        spec: GridSpec,
+        cells: Dict[str, Dict[str, object]],
+        wall_seconds: float = 0.0,
+    ) -> None:
+        self.spec = spec
+        self.cells = cells
+        self.wall_seconds = wall_seconds
+
+    @property
+    def n_completed(self) -> int:
+        return len(self.cells)
+
+    @property
+    def failures(self) -> Dict[str, Dict[str, object]]:
+        return {
+            key: record
+            for key, record in self.cells.items()
+            if record.get("status") != "ok"
+        }
+
+    def deterministic_payload(self) -> Dict[str, object]:
+        """The scheduling-invariant view of the result.
+
+        Everything here is a pure function of the grid spec: scores,
+        seeds, statuses, and failure identities.  Timings, tracebacks
+        (whose frames differ between inline and pooled execution), and
+        attempt counts are excluded - they legitimately vary run to run.
+        """
+        cells = {}
+        for key, record in sorted(self.cells.items()):
+            kept = {
+                field: record[field]
+                for field in (
+                    "method",
+                    "dataset",
+                    "seed_index",
+                    "cell_seed",
+                    "status",
+                    "jaccard",
+                    "multi_jaccard",
+                    "error_type",
+                    "error_message",
+                )
+                if field in record
+            }
+            cells[key] = kept
+        return {"fingerprint": self.spec.fingerprint(), "cells": cells}
+
+    def canonical_json(self) -> str:
+        """Byte-comparable serialization of the deterministic payload."""
+        return json.dumps(
+            self.deterministic_payload(), sort_keys=True, separators=(",", ":")
+        )
+
+    def table(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """Aggregate to the ``accuracy_table`` shape.
+
+        Scores are collected in seed order and reduced with the exact
+        same float operations as the historical serial loop, so the
+        (method, dataset) summary values are byte-identical to it.
+        Pairs with any failed or missing cell are omitted (rendered as
+        ``-`` by ``format_table``).
+        """
+        table: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for method in self.spec.methods:
+            table[method] = {}
+            for dataset in self.spec.datasets:
+                scores: List[float] = []
+                runtimes: List[float] = []
+                complete = True
+                for index in self.spec.seed_indices:
+                    record = self.cells.get(cell_key(method, dataset, index))
+                    if record is None or record.get("status") != "ok":
+                        complete = False
+                        break
+                    score = (
+                        record["multi_jaccard"]
+                        if self.spec.preserve_multiplicity
+                        else record["jaccard"]
+                    )
+                    scores.append(100.0 * float(score))
+                    runtimes.append(float(record["runtime_seconds"]))
+                if complete:
+                    table[method][dataset] = {
+                        "mean": float(np.mean(scores)),
+                        "std": float(np.std(scores)),
+                        "runtime": float(np.mean(runtimes)),
+                    }
+        return table
+
+
+# ----------------------------------------------------------------------
+# Checkpointing
+# ----------------------------------------------------------------------
+def _write_checkpoint(
+    path: Path, spec: GridSpec, cells: Dict[str, Dict[str, object]]
+) -> None:
+    """Atomically persist the full result map (tmp file + ``os.replace``)."""
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "fingerprint": spec.fingerprint(),
+        "spec": spec.as_dict(),
+        "cells": cells,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        "w",
+        encoding="utf-8",
+        dir=path.parent,
+        prefix=path.name + ".",
+        suffix=".tmp",
+        delete=False,
+    )
+    try:
+        with handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(handle.name, path)
+    except BaseException:
+        os.unlink(handle.name)
+        raise
+
+
+def load_checkpoint(path: Path) -> Optional[Dict[str, object]]:
+    """Read a checkpoint, tolerating a missing or torn file (→ ``None``)."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    if payload.get("version") != CHECKPOINT_VERSION:
+        return None
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _failure_record(
+    cell: Dict[str, object],
+    error_type: str,
+    error_message: str,
+    error_traceback: Optional[str] = None,
+) -> Dict[str, object]:
+    """The canonical failed-cell record (single construction point)."""
+    record = {
+        "key": cell["key"],
+        "method": cell["method"],
+        "dataset": cell["dataset"],
+        "seed_index": cell["seed_index"],
+        "cell_seed": cell["cell_seed"],
+        "status": "failed",
+        "error_type": error_type,
+        "error_message": error_message,
+    }
+    if error_traceback is not None:
+        record["error_traceback"] = error_traceback
+    return record
+
+
+def _infrastructure_failure(
+    cell: Dict[str, object], exc: BaseException
+) -> Dict[str, object]:
+    """Failure record for an exception raised *outside* the cell executor
+    (pickling, submission): ``_execute_cell`` itself never raises."""
+    return _failure_record(
+        cell, type(exc).__name__, str(exc), traceback.format_exc()
+    )
+
+
+def run_grid(
+    spec: GridSpec,
+    workers: int = 1,
+    checkpoint_path: Optional[os.PathLike] = None,
+    max_cells: Optional[int] = None,
+    max_attempts: int = 2,
+    retry_failed: bool = False,
+    inline_bundles: Optional[Dict[str, object]] = None,
+) -> GridResult:
+    """Execute the grid, sharding cells over ``workers`` processes.
+
+    Parameters
+    ----------
+    spec:
+        The grid to run.
+    workers:
+        ``1`` executes cells inline (no pool, no pickling); ``>1``
+        shards them over a ``ProcessPoolExecutor``.  Results are
+        byte-identical either way (see :meth:`GridResult.canonical_json`).
+    checkpoint_path:
+        When given, every completed cell atomically rewrites this JSON
+        file; a later call with the same spec resumes from it, skipping
+        completed cells.  A checkpoint written for a *different* spec
+        raises ``ValueError`` instead of silently mixing grids.
+    max_cells:
+        Stop after completing this many *new* cells (the checkpoint
+        keeps them); used to bound one call's work and by the harness to
+        simulate a mid-grid kill.
+    max_attempts:
+        How many times a cell may crash its worker process (pool
+        breakage) before being recorded as failed.  Cells that merely
+        *raise* are recorded as failed on the first attempt.
+    retry_failed:
+        Re-run cells whose checkpointed status is ``failed`` instead of
+        keeping the failure record.
+    inline_bundles:
+        Optional ``{dataset_name: DatasetBundle}`` used directly by the
+        inline executor, letting ``accuracy_table`` / ``seed_sweep``
+        reuse already-loaded bundles when ``workers=1``.  Pool workers
+        always reload from the registry by ``(name, dataset_seed)``, so
+        with ``workers>1`` each provided bundle is first verified equal
+        to its registry reload - a modified or differently-seeded bundle
+        raises ``ValueError`` instead of being silently replaced by
+        pristine registry data.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers > 1 and inline_bundles:
+        for name, bundle in inline_bundles.items():
+            try:
+                reloaded = _load_bundle(name, spec.dataset_seed)
+            except KeyError:
+                reloaded = None
+            if bundle != reloaded:
+                raise ValueError(
+                    f"bundle {name!r} does not match its registry reload "
+                    f"load({name!r}, seed={spec.dataset_seed}); pool "
+                    "workers would score different data than the caller "
+                    "provided.  Pass dataset_seed to match how the bundle "
+                    "was loaded, or run with workers=1 for ad-hoc bundles."
+                )
+    checkpoint = Path(checkpoint_path) if checkpoint_path else None
+
+    cells: Dict[str, Dict[str, object]] = {}
+    if checkpoint is not None:
+        existing = load_checkpoint(checkpoint)
+        if existing is not None:
+            if existing["fingerprint"] != spec.fingerprint():
+                raise ValueError(
+                    f"checkpoint {checkpoint} was written for a different "
+                    "grid; delete it or point at a fresh path"
+                )
+            cells = dict(existing["cells"])
+            if retry_failed:
+                cells = {
+                    key: record
+                    for key, record in cells.items()
+                    if record.get("status") == "ok"
+                }
+
+    pending = [cell for cell in spec.cells() if cell["key"] not in cells]
+    if max_cells is not None:
+        pending = pending[:max_cells]
+
+    started = time.perf_counter()
+
+    def record_done(record: Dict[str, object]) -> None:
+        cells[str(record["key"])] = record
+        if checkpoint is not None:
+            _write_checkpoint(checkpoint, spec, cells)
+
+    if workers == 1 or not pending:
+        provided = inline_bundles or {}
+        for cell in pending:
+            record_done(
+                _execute_cell(cell, bundle=provided.get(str(cell["dataset"])))
+            )
+    else:
+        crashed: List[Dict[str, object]] = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_execute_cell, cell): cell for cell in pending
+            }
+            for future in as_completed(futures):
+                cell = futures[future]
+                try:
+                    record = future.result()
+                except BrokenProcessPool:
+                    crashed.append(cell)
+                    continue
+                except Exception as exc:
+                    record = _infrastructure_failure(cell, exc)
+                record_done(record)
+        # A broken pool cannot attribute the crash to one future: every
+        # unfinished cell lands here, innocents included.  Re-running
+        # each crashed cell in its own dedicated single-worker pool makes
+        # the attribution conclusive - a cell that breaks its private
+        # pool (max_attempts times) is the culprit and is quarantined as
+        # failed; bystanders simply complete - so one poisoned cell
+        # never sinks the grid.
+        for cell in crashed:
+            record = None
+            for attempt in range(1, max_attempts + 1):
+                with ProcessPoolExecutor(max_workers=1) as solo:
+                    try:
+                        record = solo.submit(_execute_cell, cell).result()
+                        break
+                    except BrokenProcessPool:
+                        record = _failure_record(
+                            cell,
+                            "WorkerCrash",
+                            "worker process died while executing this "
+                            f"cell ({attempt} isolated attempts)",
+                        )
+                    except Exception as exc:
+                        record = _infrastructure_failure(cell, exc)
+                        break
+            record_done(record)
+
+    return GridResult(spec, cells, wall_seconds=time.perf_counter() - started)
+
+
+# ----------------------------------------------------------------------
+# Named grids (the paper's tables, drivable from the CLI and benches)
+# ----------------------------------------------------------------------
+def preset_grid(name: str, seeds: Optional[Sequence[int]] = None) -> GridSpec:
+    """Grid specs for the paper's main experiment surfaces.
+
+    ``table2``/``table3`` mirror ``bench_table2_accuracy_reduced`` /
+    ``bench_table3_accuracy_preserved`` (methods, datasets, seeds), and
+    ``ablation`` mirrors ``bench_ablation_variants``; ``quick`` is a
+    three-cell smoke grid.
+    """
+    from repro.experiments.harness import MULTIPLICITY_CAPABLE, method_registry
+
+    full_datasets = (
+        "crime",
+        "hosts",
+        "directors",
+        "foursquare",
+        "enron",
+        "pschool",
+        "hschool",
+        "eu",
+        "dblp",
+        "mag-topcs",
+    )
+    presets = {
+        "table2": GridSpec(
+            methods=tuple(method_registry()),
+            datasets=full_datasets,
+            seeds=tuple(seeds) if seeds else (0, 1),
+        ),
+        "table3": GridSpec(
+            methods=tuple(MULTIPLICITY_CAPABLE),
+            datasets=full_datasets,
+            seeds=tuple(seeds) if seeds else (0, 1),
+            preserve_multiplicity=True,
+        ),
+        "ablation": GridSpec(
+            methods=("MARIOH-M", "MARIOH-F", "MARIOH-B", "MARIOH"),
+            datasets=("crime", "hosts", "enron", "eu", "dblp"),
+            seeds=tuple(seeds) if seeds else (0, 1, 2),
+        ),
+        "quick": GridSpec(
+            methods=("MaxClique", "CliqueCovering", "MARIOH"),
+            datasets=("crime",),
+            seeds=tuple(seeds) if seeds else (0,),
+        ),
+    }
+    if name not in presets:
+        raise KeyError(
+            f"unknown grid preset {name!r}; known: {', '.join(sorted(presets))}"
+        )
+    return presets[name]

@@ -7,19 +7,12 @@ from repro.baselines.demon import Demon
 from repro.hypergraph.graph import WeightedGraph
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.projection import project
+from tests.conftest import two_clique_graph
 
 
 def two_communities_graph():
     """Two 4-cliques joined by a single bridge edge."""
-    graph = WeightedGraph()
-    from itertools import combinations
-
-    for u, v in combinations(range(4), 2):
-        graph.add_edge(u, v)
-    for u, v in combinations(range(4, 8), 2):
-        graph.add_edge(u, v)
-    graph.add_edge(3, 4)
-    return graph
+    return two_clique_graph(clique_size=4, bridge=True)
 
 
 class TestCFinder:

@@ -112,3 +112,78 @@ class TestCommands:
         write_hypergraph(hypergraph, path)
         assert main(["storage", "--input", str(path)]) == 0
         assert "compression factor" in capsys.readouterr().out
+
+
+class TestRunGrid:
+    def test_parser_accepts_grid_options(self):
+        args = build_parser().parse_args(
+            ["run-grid", "--preset", "table2", "--workers", "4"]
+        )
+        assert args.preset == "table2"
+        assert args.workers == 4
+
+    def test_custom_grid_runs_and_prints_table(self, capsys):
+        assert (
+            main(
+                [
+                    "run-grid",
+                    "--methods", "MaxClique", "CliqueCovering",
+                    "--datasets", "directors",
+                    "--seeds", "0", "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "4 cells" in out
+        assert "MaxClique" in out
+
+    def test_checkpoint_and_output_written(self, capsys, tmp_path):
+        checkpoint = tmp_path / "grid.json"
+        output = tmp_path / "result.json"
+        argv = [
+            "run-grid",
+            "--methods", "MaxClique",
+            "--datasets", "directors",
+            "--seeds", "0",
+            "--checkpoint", str(checkpoint),
+            "--output", str(output),
+        ]
+        assert main(argv) == 0
+        assert checkpoint.exists()
+        assert output.exists()
+        # A rerun resumes (zero new cells) and succeeds.
+        assert main(argv) == 0
+
+    def test_derived_seed_grid(self, capsys):
+        assert (
+            main(
+                [
+                    "run-grid",
+                    "--methods", "MaxClique",
+                    "--datasets", "directors",
+                    "--n-seeds", "2",
+                    "--base-seed", "7",
+                ]
+            )
+            == 0
+        )
+        assert "2 cells" in capsys.readouterr().out
+
+    def test_failures_set_exit_code(self, capsys):
+        assert (
+            main(
+                [
+                    "run-grid",
+                    "--methods", "FAULT:raise",
+                    "--datasets", "directors",
+                    "--seeds", "0",
+                ]
+            )
+            == 1
+        )
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_unknown_bench_rejected(self, capsys):
+        assert main(["run-grid", "--bench", "no_such_bench"]) == 2
+        assert "known:" in capsys.readouterr().out

@@ -17,14 +17,17 @@ from tests.conftest import random_hypergraph
 
 
 class TestMariohDeterminism:
+    @pytest.mark.seed_matrix
     @pytest.mark.parametrize("variant", ["full", "no_bidirectional"])
-    def test_same_seed_same_reconstruction(self, variant):
+    def test_same_seed_same_reconstruction(self, variant, matrix_seed):
         hypergraph = random_hypergraph(seed=7, n_nodes=18, n_edges=30)
         source, target = split_source_target(hypergraph, seed=0)
         graph = project(target)
 
         def run():
-            model = MARIOH(seed=11, max_epochs=30, variant=variant)
+            model = MARIOH(
+                seed=11 + matrix_seed, max_epochs=30, variant=variant
+            )
             return model.fit_reconstruct(source, graph)
 
         assert run() == run()
@@ -102,10 +105,11 @@ class TestFeaturizerCache:
 
 
 class TestDatasetDeterminism:
+    @pytest.mark.seed_matrix
     @pytest.mark.parametrize("name", ["crime", "enron", "dblp"])
-    def test_bundles_are_bitwise_stable(self, name):
-        a = load(name, seed=4)
-        b = load(name, seed=4)
+    def test_bundles_are_bitwise_stable(self, name, matrix_seed):
+        a = load(name, seed=4 + matrix_seed)
+        b = load(name, seed=4 + matrix_seed)
         assert a.hypergraph == b.hypergraph
         assert a.source_graph == b.source_graph
         assert a.target_graph_reduced == b.target_graph_reduced

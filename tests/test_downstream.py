@@ -15,24 +15,7 @@ from repro.downstream.linkpred import _sample_non_edges, link_prediction_auc
 from repro.hypergraph.graph import WeightedGraph
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.projection import project
-
-
-def community_hypergraph(n_communities=4, nodes_per_community=8, seed=0):
-    """Hyperedges strictly inside communities: clustering is easy."""
-    rng = np.random.default_rng(seed)
-    hypergraph = Hypergraph()
-    labels = {}
-    for c in range(n_communities):
-        members = list(
-            range(c * nodes_per_community, (c + 1) * nodes_per_community)
-        )
-        for node in members:
-            labels[node] = c
-        for _ in range(nodes_per_community * 3):
-            k = int(rng.integers(2, 5))
-            chosen = rng.choice(members, size=k, replace=False)
-            hypergraph.add(int(m) for m in chosen)
-    return hypergraph, labels
+from tests.conftest import community_hypergraph
 
 
 class TestKMeans:

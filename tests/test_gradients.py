@@ -10,9 +10,9 @@ checks slow); a descent check still catches sign and scaling errors.
 import numpy as np
 import pytest
 
-from repro.hypergraph.graph import WeightedGraph
 from repro.ml.gcn import GCNLinkEmbedder
 from repro.ml.mlp import MLPClassifier, _AdamState, _sigmoid
+from tests.conftest import two_clique_graph
 
 
 def _loss_of(model, x, y):
@@ -26,6 +26,50 @@ def _loss_of(model, x, y):
     )
 
 
+class NoStepAdam(_AdamState):
+    """Adam stand-in whose step is a no-op.
+
+    Running ``_train_batch`` with it leaves the analytic gradients in
+    the model's gradient views without touching the parameters - the
+    hook both this module and the batching tests use to inspect a
+    backward pass in isolation.
+    """
+
+    def step(self, params, grads, lr, **kwargs):
+        pass
+
+
+def assert_backward_matches_finite_differences(
+    model, x, y, epsilon=1e-6, rel=1e-3, abs_tol=1e-6
+):
+    """Check the model's backward pass against central differences.
+
+    ``model`` must be initialized (``_init_params`` or a prior ``fit``)
+    and binary; every weight and bias entry is perturbed individually.
+    Reused by the mini-batching tests to verify the batched path's
+    gradients on whatever batch it assembled.
+    """
+    model._train_batch(x, y.astype(int), NoStepAdam(0))
+    analytic = [g.copy() for g in model._weight_grads + model._bias_grads]
+
+    y_float = y.astype(np.float64)
+    parameters = model._weights + model._biases
+    for param, grad in zip(parameters, analytic):
+        flat = param.reshape(-1)
+        flat_grad = grad.reshape(-1)
+        for index in range(flat.size):
+            original = flat[index]
+            flat[index] = original + epsilon
+            loss_plus = _loss_of(model, x, y_float)
+            flat[index] = original - epsilon
+            loss_minus = _loss_of(model, x, y_float)
+            flat[index] = original
+            numeric = (loss_plus - loss_minus) / (2 * epsilon)
+            assert flat_grad[index] == pytest.approx(
+                numeric, rel=rel, abs=abs_tol
+            )
+
+
 class TestMLPGradients:
     def test_backward_matches_finite_differences(self):
         rng = np.random.default_rng(0)
@@ -36,32 +80,7 @@ class TestMLPGradients:
         model._n_classes = 2
         model._init_params(4, 1, rng)
 
-        # Analytic gradients: run one batch through a no-op Adam; the
-        # backward pass leaves them in the model's gradient views.
-        class _NoStep(_AdamState):
-            def step(self, params, grads, lr, **kwargs):
-                pass
-
-        model._train_batch(x, y.astype(int), _NoStep(0))
-        analytic = [g.copy() for g in model._weight_grads + model._bias_grads]
-
-        # Finite differences over every weight and bias entry.
-        epsilon = 1e-6
-        parameters = model._weights + model._biases
-        for param, grad in zip(parameters, analytic):
-            flat = param.reshape(-1)
-            flat_grad = grad.reshape(-1)
-            for index in range(flat.size):
-                original = flat[index]
-                flat[index] = original + epsilon
-                loss_plus = _loss_of(model, x, y)
-                flat[index] = original - epsilon
-                loss_minus = _loss_of(model, x, y)
-                flat[index] = original
-                numeric = (loss_plus - loss_minus) / (2 * epsilon)
-                assert flat_grad[index] == pytest.approx(
-                    numeric, rel=1e-3, abs=1e-6
-                )
+        assert_backward_matches_finite_differences(model, x, y)
 
     def test_l2_term_included_in_weight_gradients(self):
         rng = np.random.default_rng(1)
@@ -72,12 +91,7 @@ class TestMLPGradients:
             model = MLPClassifier(hidden_sizes=(4,), l2=l2, seed=0)
             model._n_classes = 2
             model._init_params(3, 1, np.random.default_rng(0))
-
-            class _NoStep(_AdamState):
-                def step(self, params, grads, lr, **kwargs):
-                    pass
-
-            model._train_batch(x, y, _NoStep(0))
+            model._train_batch(x, y, NoStepAdam(0))
             return model._weight_grads[0].copy(), model._weights[0]
 
         grad_without, _ = grads_with_l2(0.0)
@@ -89,14 +103,7 @@ class TestMLPGradients:
 
 class TestGCNDescent:
     def _link_problem(self):
-        from itertools import combinations
-
-        graph = WeightedGraph()
-        for u, v in combinations(range(5), 2):
-            graph.add_edge(u, v)
-        for u, v in combinations(range(5, 10), 2):
-            graph.add_edge(u, v)
-        graph.add_edge(4, 5)
+        graph = two_clique_graph(clique_size=5, bridge=True)
 
         edges = sorted(graph.edges())
         rng = np.random.default_rng(0)

@@ -9,21 +9,17 @@ from repro.downstream.hyperedge_prediction import (
     split_hyperedges,
 )
 from repro.hypergraph.hypergraph import Hypergraph
-from tests.conftest import random_hypergraph
+from tests.conftest import random_hypergraph, structured_triangles_hypergraph
 
 
 def structured_hypergraph(seed=0, n_groups=15):
     """Recurring tight triangles: held-out groups remain predictable."""
-    rng = np.random.default_rng(seed)
-    hypergraph = Hypergraph()
-    for base in range(0, n_groups * 3, 3):
-        hypergraph.add([base, base + 1, base + 2])
-        hypergraph.add([base, base + 1])
-    for _ in range(n_groups // 2):
-        u, v = rng.choice(n_groups * 3, size=2, replace=False)
-        if u != v:
-            hypergraph.add([int(u), int(v)])
-    return hypergraph
+    return structured_triangles_hypergraph(
+        seed=seed,
+        n_groups=n_groups,
+        pair_per_triangle=True,
+        n_noise_pairs=n_groups // 2,
+    )
 
 
 class TestSplitHyperedges:

@@ -8,22 +8,12 @@ from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.projection import project
 from repro.hypergraph.split import split_source_target
 from repro.metrics.jaccard import jaccard_similarity
-from tests.conftest import random_hypergraph
+from tests.conftest import random_hypergraph, structured_triangles_hypergraph
 
 
 def _structured_hypergraph(seed=0, n_groups=12):
     """Tight recurring triangles plus pair noise - easy to learn."""
-    import numpy as np
-
-    rng = np.random.default_rng(seed)
-    hypergraph = Hypergraph()
-    for base in range(0, n_groups * 3, 3):
-        hypergraph.add([base, base + 1, base + 2])
-    for _ in range(n_groups):
-        u, v = rng.choice(n_groups * 3, size=2, replace=False)
-        if u != v:
-            hypergraph.add([int(u), int(v)])
-    return hypergraph
+    return structured_triangles_hypergraph(seed=seed, n_groups=n_groups)
 
 
 class TestConstruction:

@@ -1,0 +1,356 @@
+"""Determinism/regression harness for the parallel experiment orchestrator.
+
+The contract under test: a grid's *deterministic payload* (scores,
+seeds, statuses) is a pure function of its spec - identical bytes
+whether cells run inline, across 4 workers, or split over a
+kill/resume boundary - and one poisoned cell can neither corrupt nor
+sink the rest of the grid.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import load
+from repro.experiments.crossval import seed_sweep
+from repro.experiments.harness import accuracy_table, run_method
+from repro.experiments.orchestrator import (
+    GridSpec,
+    cell_key,
+    load_checkpoint,
+    preset_grid,
+    run_grid,
+)
+
+#: Cheap deterministic methods for grid-shape tests (no MLP training).
+FAST_METHODS = ("MaxClique", "CliqueCovering")
+FAST_DATASETS = ("directors", "crime")
+
+
+def fast_spec(**overrides):
+    spec = dict(
+        methods=FAST_METHODS, datasets=FAST_DATASETS, seeds=(0, 1)
+    )
+    spec.update(overrides)
+    return GridSpec(**spec)
+
+
+class TestGridSpec:
+    def test_cells_canonical_order(self):
+        spec = fast_spec()
+        keys = [cell["key"] for cell in spec.cells()]
+        assert keys == [
+            cell_key(m, d, i)
+            for m in FAST_METHODS
+            for d in FAST_DATASETS
+            for i in (0, 1)
+        ]
+
+    def test_explicit_seed_mode_uses_sweep_seeds(self):
+        spec = fast_spec(seeds=(7, 13))
+        seeds = {cell["seed_index"]: cell["cell_seed"] for cell in spec.cells()}
+        assert seeds == {0: 7, 1: 13}
+
+    def test_derived_seeds_are_pure_and_decorrelated(self):
+        spec = fast_spec(seed_mode="derived", base_seed=42, n_seeds=3)
+        # Pure: recomputing any cell's seed gives the same value.
+        for cell in spec.cells():
+            assert cell["cell_seed"] == spec.cell_seed(
+                cell["method"], cell["dataset"], cell["seed_index"]
+            )
+        # Decorrelated: every coordinate perturbation changes the seed.
+        all_seeds = [cell["cell_seed"] for cell in spec.cells()]
+        assert len(set(all_seeds)) == len(all_seeds)
+        other_base = fast_spec(seed_mode="derived", base_seed=43, n_seeds=3)
+        assert spec.cell_seed("MaxClique", "crime", 0) != other_base.cell_seed(
+            "MaxClique", "crime", 0
+        )
+
+    def test_fingerprint_roundtrip(self):
+        spec = fast_spec(preserve_multiplicity=True, dataset_seed=3)
+        rebuilt = GridSpec.from_dict(json.loads(json.dumps(spec.as_dict())))
+        assert rebuilt == spec
+        assert rebuilt.fingerprint() == spec.fingerprint()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fast_spec(seeds=())
+        with pytest.raises(ValueError):
+            fast_spec(seed_mode="typo")
+        with pytest.raises(ValueError):
+            fast_spec(methods=())
+        with pytest.raises(ValueError):
+            fast_spec(seed_mode="derived", n_seeds=0)
+        with pytest.raises(ValueError):
+            run_grid(fast_spec(), workers=0)
+
+
+class TestWorkerCountInvariance:
+    @pytest.mark.seed_matrix
+    def test_workers1_vs_workers4_byte_identical(self, matrix_seed):
+        """The headline contract: sharding must not change a byte.
+
+        Includes MARIOH so a full fit+reconstruct cell (sampling, MLP
+        training, bidirectional search) crosses the process boundary.
+        """
+        spec = GridSpec(
+            methods=("MaxClique", "CliqueCovering", "MARIOH"),
+            datasets=("crime",),
+            seeds=(matrix_seed,),
+        )
+        serial = run_grid(spec, workers=1)
+        sharded = run_grid(spec, workers=4)
+        assert not serial.failures
+        assert serial.canonical_json() == sharded.canonical_json()
+
+    def test_inline_bundles_match_registry_reloads(self):
+        """Pre-loaded bundles (inline path) and worker reloads (pool
+        path) must describe the same data."""
+        spec = fast_spec()
+        bundles = {
+            name: load(name, seed=0) for name in FAST_DATASETS
+        }
+        with_bundles = run_grid(spec, workers=1, inline_bundles=bundles)
+        without = run_grid(spec, workers=1)
+        assert with_bundles.canonical_json() == without.canonical_json()
+
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        methods=st.sets(st.sampled_from(FAST_METHODS), min_size=1).map(
+            lambda s: tuple(sorted(s))
+        ),
+        datasets=st.sets(st.sampled_from(FAST_DATASETS), min_size=1).map(
+            lambda s: tuple(sorted(s))
+        ),
+        seeds=st.lists(
+            st.integers(min_value=0, max_value=50),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        ).map(tuple),
+    )
+    def test_property_scheduling_invariance(self, methods, datasets, seeds):
+        """Any fast grid: inline and 2-worker runs agree byte-for-byte."""
+        spec = GridSpec(methods=methods, datasets=datasets, seeds=seeds)
+        inline = run_grid(spec, workers=1)
+        pooled = run_grid(spec, workers=2)
+        assert inline.canonical_json() == pooled.canonical_json()
+
+
+class TestCheckpointResume:
+    def test_kill_and_resume_is_byte_identical(self, tmp_path):
+        """A grid killed mid-flight resumes to the uninterrupted result."""
+        spec = fast_spec()
+        clean = run_grid(spec, workers=1)
+
+        checkpoint = tmp_path / "grid.json"
+        partial = run_grid(
+            spec, workers=1, checkpoint_path=checkpoint, max_cells=3
+        )
+        assert partial.n_completed == 3
+        saved = load_checkpoint(checkpoint)
+        assert saved is not None and len(saved["cells"]) == 3
+
+        resumed = run_grid(spec, workers=4, checkpoint_path=checkpoint)
+        assert resumed.n_completed == len(spec.cells())
+        assert resumed.canonical_json() == clean.canonical_json()
+
+    def test_resume_skips_completed_cells(self, tmp_path):
+        checkpoint = tmp_path / "grid.json"
+        spec = fast_spec()
+        run_grid(spec, workers=1, checkpoint_path=checkpoint)
+        before = load_checkpoint(checkpoint)
+        # Re-running is a no-op: same cells, checkpoint unchanged.
+        again = run_grid(spec, workers=1, checkpoint_path=checkpoint)
+        assert load_checkpoint(checkpoint) == before
+        assert again.n_completed == len(spec.cells())
+
+    def test_checkpoint_for_different_grid_refused(self, tmp_path):
+        checkpoint = tmp_path / "grid.json"
+        run_grid(fast_spec(), workers=1, checkpoint_path=checkpoint)
+        with pytest.raises(ValueError, match="different"):
+            run_grid(
+                fast_spec(seeds=(5,)), workers=1, checkpoint_path=checkpoint
+            )
+
+    def test_torn_checkpoint_starts_fresh(self, tmp_path):
+        checkpoint = tmp_path / "grid.json"
+        checkpoint.write_text("{ this is not json", encoding="utf-8")
+        assert load_checkpoint(checkpoint) is None
+        result = run_grid(fast_spec(), workers=1, checkpoint_path=checkpoint)
+        assert result.n_completed == len(fast_spec().cells())
+
+    def test_failed_cells_persist_unless_retry_requested(self, tmp_path):
+        checkpoint = tmp_path / "grid.json"
+        spec = GridSpec(
+            methods=("MaxClique", "FAULT:raise"),
+            datasets=("directors",),
+            seeds=(0,),
+        )
+        first = run_grid(spec, workers=1, checkpoint_path=checkpoint)
+        assert len(first.failures) == 1
+        # Default resume keeps the failure record.
+        kept = run_grid(spec, workers=1, checkpoint_path=checkpoint)
+        assert len(kept.failures) == 1
+        # retry_failed re-executes it (and it fails again, same record).
+        retried = run_grid(
+            spec, workers=1, checkpoint_path=checkpoint, retry_failed=True
+        )
+        assert retried.canonical_json() == first.canonical_json()
+
+
+class TestFailureIsolation:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_raising_cell_recorded_not_fatal(self, workers):
+        spec = GridSpec(
+            methods=("MaxClique", "FAULT:raise", "CliqueCovering"),
+            datasets=("directors",),
+            seeds=(0,),
+        )
+        result = run_grid(spec, workers=workers)
+        assert result.n_completed == 3
+        failure = result.cells[cell_key("FAULT:raise", "directors", 0)]
+        assert failure["status"] == "failed"
+        assert failure["error_type"] == "RuntimeError"
+        assert "injected fault" in failure["error_message"]
+        for method in ("MaxClique", "CliqueCovering"):
+            assert result.cells[cell_key(method, "directors", 0)][
+                "status"
+            ] == "ok"
+
+    def test_unknown_method_is_a_recorded_failure(self):
+        spec = GridSpec(
+            methods=("MaxClique", "NotAMethod"),
+            datasets=("directors",),
+            seeds=(0,),
+        )
+        result = run_grid(spec, workers=1)
+        failure = result.cells[cell_key("NotAMethod", "directors", 0)]
+        assert failure["status"] == "failed"
+        assert failure["error_type"] == "KeyError"
+
+    def test_worker_crash_quarantined_without_sinking_grid(self):
+        """A cell that kills its worker process outright (simulated via
+        the FAULT:exit injection) is retried in isolation, attributed,
+        and recorded as failed; every other cell still completes."""
+        spec = GridSpec(
+            methods=("MaxClique", "FAULT:exit", "CliqueCovering"),
+            datasets=("directors",),
+            seeds=(0,),
+        )
+        result = run_grid(spec, workers=2)
+        assert result.n_completed == 3
+        crash = result.cells[cell_key("FAULT:exit", "directors", 0)]
+        assert crash["status"] == "failed"
+        assert crash["error_type"] == "WorkerCrash"
+        for method in ("MaxClique", "CliqueCovering"):
+            assert result.cells[cell_key(method, "directors", 0)][
+                "status"
+            ] == "ok"
+
+    def test_failed_pairs_omitted_from_table(self):
+        spec = GridSpec(
+            methods=("MaxClique", "FAULT:raise"),
+            datasets=("directors",),
+            seeds=(0,),
+        )
+        table = run_grid(spec, workers=1).table()
+        assert "directors" in table["MaxClique"]
+        assert table["FAULT:raise"] == {}
+
+
+class TestSerialSurfaceRouting:
+    """accuracy_table / seed_sweep route through the orchestrator and
+    must reproduce the historical serial loop byte-for-byte."""
+
+    def test_accuracy_table_matches_manual_loop(self):
+        bundle = load("directors", seed=0)
+        table = accuracy_table(FAST_METHODS, [bundle], seeds=[0, 1])
+        import numpy as np
+
+        for method in FAST_METHODS:
+            scores = [
+                100.0 * run_method(method, bundle, seed=seed).jaccard
+                for seed in (0, 1)
+            ]
+            cell = table[method]["directors"]
+            assert cell["mean"] == float(np.mean(scores))
+            assert cell["std"] == float(np.std(scores))
+
+    def test_accuracy_table_parallel_matches_serial(self):
+        bundles = [load(name, seed=0) for name in FAST_DATASETS]
+        serial = accuracy_table(FAST_METHODS, bundles, seeds=[0, 1])
+        parallel = accuracy_table(
+            FAST_METHODS, bundles, seeds=[0, 1], workers=2
+        )
+        # Scores must agree exactly; "runtime" is wall clock and may not.
+        for method in FAST_METHODS:
+            for dataset in FAST_DATASETS:
+                assert (
+                    serial[method][dataset]["mean"]
+                    == parallel[method][dataset]["mean"]
+                )
+                assert (
+                    serial[method][dataset]["std"]
+                    == parallel[method][dataset]["std"]
+                )
+
+    def test_accuracy_table_surfaces_failures(self):
+        bundle = load("directors", seed=0)
+        with pytest.raises(RuntimeError, match="FAULT:raise"):
+            accuracy_table(["FAULT:raise"], [bundle], seeds=[0])
+
+    def test_parallel_with_mismatched_bundle_refused(self):
+        """workers>1 reloads bundles from the registry; a bundle that
+        would not survive that reload must be refused loudly instead of
+        silently scoring different data."""
+        bundle = load("directors", seed=3)  # dataset_seed defaults to 0
+        with pytest.raises(ValueError, match="registry reload"):
+            accuracy_table(["MaxClique"], [bundle], seeds=[0], workers=2)
+        # Declaring the matching dataset_seed makes it legal again.
+        table = accuracy_table(
+            ["MaxClique"], [bundle], seeds=[0], workers=2, dataset_seed=3
+        )
+        assert "directors" in table["MaxClique"]
+
+    def test_seed_sweep_matches_manual_loop(self):
+        bundle = load("directors", seed=0)
+        sweep = seed_sweep("MaxClique", bundle, seeds=(0, 1, 2))
+        manual = tuple(
+            run_method("MaxClique", bundle, seed=seed).jaccard
+            for seed in (0, 1, 2)
+        )
+        assert sweep.scores == manual
+
+    def test_seed_sweep_parallel_matches_serial(self):
+        bundle = load("directors", seed=0)
+        serial = seed_sweep("MaxClique", bundle, seeds=(0, 1, 2))
+        parallel = seed_sweep(
+            "MaxClique", bundle, seeds=(0, 1, 2), workers=2
+        )
+        assert serial == parallel
+
+
+class TestPresets:
+    def test_presets_resolve(self):
+        for name in ("table2", "table3", "ablation", "quick"):
+            spec = preset_grid(name)
+            assert spec.cells()
+
+    def test_table_presets_mirror_bench_scripts(self):
+        table2 = preset_grid("table2")
+        assert len(table2.methods) == 12
+        assert len(table2.datasets) == 10
+        table3 = preset_grid("table3")
+        assert table3.preserve_multiplicity
+        assert set(table3.methods) <= set(table2.methods)
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            preset_grid("table99")

@@ -13,19 +13,11 @@ from repro.ml.spectral import (
     hypergraph_incidence,
     hypergraph_spectral_embedding,
 )
+from tests.conftest import two_clique_graph
 
 
 def two_cliques_graph(bridge=True):
-    from itertools import combinations
-
-    graph = WeightedGraph()
-    for u, v in combinations(range(5), 2):
-        graph.add_edge(u, v)
-    for u, v in combinations(range(5, 10), 2):
-        graph.add_edge(u, v)
-    if bridge:
-        graph.add_edge(4, 5)
-    return graph
+    return two_clique_graph(clique_size=5, bridge=bridge)
 
 
 class TestAdjacencyIncidence:
