@@ -35,6 +35,7 @@ from repro.datasets import load
 from repro.experiments import run_method
 from repro.experiments.orchestrator import GridSpec, run_grid
 from repro.hypergraph.cliques import maximal_cliques_list
+from repro.resilience import FaultPlan, RetryPolicy
 
 #: keys that must be present in BENCH_hotpath.json for the cache
 #: trajectory to stay auditable; test_hotpath_metrics_written fails
@@ -58,6 +59,18 @@ REQUIRED_GRID_KEYS = (
     "grid_speedup_workers4",
     "grid_cells_per_s_workers1",
     "grid_cpu_count",
+)
+
+#: retry-engine overhead keys written by test_retry_overhead: what the
+#: resilience layer costs when faults actually fire, and proof the
+#: recovered run matched the clean one bit for bit.
+REQUIRED_RETRY_KEYS = (
+    "retry_clean_wall_seconds",
+    "retry_faulted_wall_seconds",
+    "retry_overhead_ratio",
+    "retry_count",
+    "retry_faults_injected",
+    "retry_byte_identical",
 )
 
 
@@ -257,6 +270,63 @@ def test_grid_throughput():
         )
 
 
+def test_retry_overhead():
+    """Resilience-layer cost: a fault-riddled grid vs the clean run.
+
+    Injects crash/timeout/transient faults (p=0.2 each) into a small
+    grid and measures the wall-clock overhead the retry engine pays to
+    recover - while asserting the headline resilience contract: the
+    recovered result is byte-identical to the fault-free serial run.
+    """
+    spec = GridSpec(
+        methods=("MaxClique", "CliqueCovering"),
+        datasets=("directors",),
+        seeds=(0, 1),
+    )
+    policy = RetryPolicy(
+        max_attempts=3,
+        backoff_base=0.01,
+        backoff_max=0.05,
+        cell_timeout=0.25,
+    )
+    plan = FaultPlan(
+        seed=7, p_crash=0.2, p_timeout=0.2, p_transient=0.2,
+        max_faults_per_cell=2,
+    )
+
+    clean = run_grid(spec, workers=1, retry_policy=policy)
+    faulted = run_grid(spec, workers=1, retry_policy=policy, fault_plan=plan)
+
+    assert not clean.failures, clean.failures
+    assert not faulted.failures, faulted.failures
+    byte_identical = clean.canonical_json() == faulted.canonical_json()
+    assert byte_identical, (
+        "fault-injected grid diverged from the fault-free run"
+    )
+    assert faulted.stats["faults_injected"] > 0, (
+        "fault plan injected nothing; overhead metric is meaningless"
+    )
+
+    overhead = faulted.wall_seconds / max(clean.wall_seconds, 1e-9)
+    retry_metrics = {
+        "retry_clean_wall_seconds": round(clean.wall_seconds, 4),
+        "retry_faulted_wall_seconds": round(faulted.wall_seconds, 4),
+        "retry_overhead_ratio": round(overhead, 3),
+        "retry_count": faulted.stats["retries"],
+        "retry_faults_injected": faulted.stats["faults_injected"],
+        "retry_byte_identical": byte_identical,
+    }
+    emit_json("BENCH_hotpath_retry", retry_metrics)
+    path = RESULTS_DIR / "BENCH_hotpath.json"
+    payload = (
+        json.loads(path.read_text(encoding="utf-8")) if path.exists() else {}
+    )
+    payload.update(retry_metrics)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
 def test_hotpath_metrics_written():
     """BENCH_hotpath.json must carry the cache-hit-rate metrics.
 
@@ -269,7 +339,7 @@ def test_hotpath_metrics_written():
         "before this test?"
     )
     payload = json.loads(path.read_text(encoding="utf-8"))
-    required = REQUIRED_CACHE_KEYS + REQUIRED_GRID_KEYS
+    required = REQUIRED_CACHE_KEYS + REQUIRED_GRID_KEYS + REQUIRED_RETRY_KEYS
     missing = [key for key in required if key not in payload]
     assert not missing, (
         f"BENCH_hotpath.json lost required metrics: {missing}; "

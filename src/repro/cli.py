@@ -210,6 +210,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-cells", type=int,
         help="stop after this many new cells (checkpoint keeps them)",
     )
+    grid.add_argument(
+        "--retries", type=int,
+        help="attempt budget per cell: retryable failures (crash/timeout/"
+        "transient) are re-executed with backed-off, deterministically "
+        "jittered delays before quarantine (default 2; with "
+        "--inject-faults, the plan's max_faults cap + 1)",
+    )
+    grid.add_argument(
+        "--cell-timeout", type=float,
+        help="per-attempt watchdog deadline in seconds; a hung cell is "
+        "classified 'timeout' and retried instead of stalling the grid",
+    )
+    grid.add_argument(
+        "--inject-faults", metavar="SPEC",
+        help="deterministic chaos testing: e.g. "
+        "'crash=0.2,timeout=0.1,transient=0.1,corrupt=0.1' (also accepts "
+        "max_faults=N); faults are a pure function of --fault-seed",
+    )
+    grid.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the fault-injection stream (with --inject-faults)",
+    )
     grid.add_argument("--output", help="write the full grid result JSON here")
     grid.add_argument(
         "--bench",
@@ -223,6 +245,12 @@ def _cmd_run_grid(args: argparse.Namespace) -> int:
     import json
 
     from repro.experiments.orchestrator import GridSpec, preset_grid, run_grid
+    from repro.resilience import (
+        FaultPlan,
+        RetryPolicy,
+        format_quarantine_table,
+        format_resilience_summary,
+    )
 
     if args.bench:
         return _drive_bench(args.bench, args.workers)
@@ -253,18 +281,49 @@ def _cmd_run_grid(args: argparse.Namespace) -> int:
                 preserve_multiplicity=args.preserve_multiplicity,
             )
 
+    try:
+        plan = (
+            FaultPlan.from_string(args.inject_faults, seed=args.fault_seed)
+            if args.inject_faults
+            else None
+        )
+        if args.retries is not None:
+            retries = args.retries
+        elif plan is not None and plan.has_cell_faults:
+            # Default to a budget that honors the completion guarantee:
+            # one clean attempt beyond the plan's sabotage cap.
+            retries = plan.max_faults_per_cell + 1
+        else:
+            retries = 2
+        policy = RetryPolicy(
+            max_attempts=retries, cell_timeout=args.cell_timeout
+        )
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+
     n_cells = len(spec.cells())
     print(
         f"grid: {len(spec.methods)} methods x {len(spec.datasets)} datasets "
         f"x {len(spec.seed_indices)} seeds = {n_cells} cells, "
         f"{args.workers} worker(s)"
     )
-    result = run_grid(
-        spec,
-        workers=args.workers,
-        checkpoint_path=args.checkpoint,
-        max_cells=args.max_cells,
-    )
+    if plan is not None:
+        print(
+            f"fault injection: {args.inject_faults} (seed {args.fault_seed})"
+        )
+    try:
+        result = run_grid(
+            spec,
+            workers=args.workers,
+            checkpoint_path=args.checkpoint,
+            max_cells=args.max_cells,
+            retry_policy=policy,
+            fault_plan=plan,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
     metric = "multi-Jaccard" if spec.preserve_multiplicity else "Jaccard"
     print(
         format_table(
@@ -276,11 +335,12 @@ def _cmd_run_grid(args: argparse.Namespace) -> int:
         f"{result.wall_seconds:.2f}s wall"
         + (f" ({len(result.failures)} failed)" if result.failures else "")
     )
-    for key, failure in sorted(result.failures.items()):
-        print(
-            f"  FAILED {key}: {failure.get('error_type')}: "
-            f"{failure.get('error_message')}"
-        )
+    stats = result.stats or {}
+    if plan is not None or stats.get("retries"):
+        print(format_resilience_summary(stats))
+    if result.failures:
+        print(f"\nFAILED: {len(result.failures)} cell(s) quarantined")
+        print(format_quarantine_table(result.failures))
     if args.output:
         payload = {
             "spec": spec.as_dict(),

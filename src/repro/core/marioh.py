@@ -24,6 +24,7 @@ Variants (Sect. IV-E ablations):
 from __future__ import annotations
 
 import dataclasses
+import logging
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -38,8 +39,11 @@ from repro.hypergraph.graph import WeightedGraph
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.projection import project
 from repro.hypergraph.split import subsample_supervision
+from repro.resilience.errors import InvariantViolation
 
 VARIANTS = ("full", "no_multiplicity", "no_filtering", "no_bidirectional")
+
+logger = logging.getLogger(__name__)
 
 
 def _sampling_seed(seed: Optional[int]) -> int:
@@ -104,6 +108,16 @@ class MARIOH:
         paper's pseudocode, kept as the reference implementation).  The
         two engines produce identical reconstructions - equivalence is
         enforced by the parity test suite.
+    strict_invariants:
+        The incremental engine self-audits its clique pool every
+        iteration (version counters, snapshot coherence, a sampled
+        staleness probe).  By default a violation logs a warning and
+        degrades gracefully: the remainder of that reconstruction runs
+        on the rescan engine (recorded in :attr:`engine_fallback_`).
+        With ``strict_invariants=True`` the violation raises
+        :class:`~repro.resilience.errors.InvariantViolation` instead -
+        the mode the parity/CI suites run under, so corruption can
+        never hide behind the fallback.
     seed:
         Seeds classifier initialization and sub-clique sampling.
     """
@@ -119,6 +133,7 @@ class MARIOH:
         max_epochs: int = 150,
         max_iterations: Optional[int] = None,
         engine: str = "incremental",
+        strict_invariants: bool = False,
         record_provenance: bool = False,
         seed: Optional[int] = None,
     ) -> None:
@@ -143,6 +158,7 @@ class MARIOH:
         self.max_epochs = max_epochs
         self.max_iterations = max_iterations
         self.engine = engine
+        self.strict_invariants = strict_invariants
         self.record_provenance = record_provenance
         self.seed = seed
 
@@ -170,6 +186,10 @@ class MARIOH:
         #: per-conversion provenance, filled by reconstruct() when
         #: ``record_provenance`` is set.
         self.provenance_: List[ProvenanceRecord] = []
+        #: set by reconstruct() when the incremental engine failed its
+        #: invariant self-check and the run degraded to rescan mode:
+        #: {"iteration": int, "violation": str}.  None on clean runs.
+        self.engine_fallback_: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -264,6 +284,7 @@ class MARIOH:
         pool = (
             CliqueCandidatePool(working) if self.engine == "incremental" else None
         )
+        self.engine_fallback_ = None
         theta = self.theta_init
         iterations = 0
         self.iteration_seconds_ = []
@@ -274,6 +295,31 @@ class MARIOH:
                 and iterations >= self.max_iterations
             ):
                 break
+            if pool is not None:
+                violation = pool.check_invariants()
+                if violation is not None:
+                    if self.strict_invariants:
+                        raise InvariantViolation(
+                            f"incremental engine invariant violated at "
+                            f"iteration {iterations}: {violation}"
+                        )
+                    # Graceful degradation: the rescan engine derives
+                    # everything from the live graph, so dropping the
+                    # pool for the rest of this reconstruction trades
+                    # speed for correctness instead of propagating a
+                    # corrupt clique set.
+                    logger.warning(
+                        "incremental engine invariant violated at "
+                        "iteration %d (%s); falling back to the rescan "
+                        "engine for the rest of this reconstruction",
+                        iterations,
+                        violation,
+                    )
+                    self.engine_fallback_ = {
+                        "iteration": iterations,
+                        "violation": violation,
+                    }
+                    pool = None
             iteration_started = time.perf_counter()
             recorder: Optional[List[Tuple[frozenset, str, float]]] = (
                 [] if self.record_provenance else None

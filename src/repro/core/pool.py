@@ -55,6 +55,12 @@ class CliqueCandidatePool:
         for clique in self._cliques:
             self._index_add(clique)
         self._sorted: Optional[List[Clique]] = None
+        # The pool's view of the graph is current as of this structural
+        # version; every notify_edges_removed call advances it.  A gap
+        # between the expected and actual counters means a structural
+        # mutation happened that the pool was never told about.
+        self._synced_structure_version = graph.structure_version
+        self._desync: Optional[str] = None
 
     def _index_add(self, clique: Clique) -> None:
         for node in clique:
@@ -96,7 +102,23 @@ class CliqueCandidatePool:
         """
         removed = [frozenset(pair) for pair in pairs]
         if not removed:
+            # Even an empty notification re-syncs nothing: structural
+            # changes without a matching notification stay detectable.
             return
+        # Each vanished edge bumped structure_version exactly once, so a
+        # caller that notifies promptly after every decrement keeps the
+        # counters in lockstep.  A gap means some structural mutation
+        # (an unreported vanish, an out-of-band add/remove) bypassed the
+        # pool, whose clique set may now be silently stale.
+        expected = self._synced_structure_version + len(set(removed))
+        actual = self._graph.structure_version
+        if expected != actual and self._desync is None:
+            self._desync = (
+                f"pool expected structure_version {expected} after "
+                f"{len(set(removed))} removal(s) but graph is at {actual}; "
+                "a structural mutation bypassed notify_edges_removed"
+            )
+        self._synced_structure_version = actual
         endpoints: Set[Node] = set()
         for pair in removed:
             endpoints.update(pair)
@@ -139,3 +161,44 @@ class CliqueCandidatePool:
     def matches_rescan(self) -> bool:
         """Debug helper: does the pool equal a fresh enumeration?"""
         return self._cliques == set(maximal_cliques(self._graph))
+
+    def check_invariants(self) -> Optional[str]:
+        """Cheap self-audit; a description of the first violation or None.
+
+        Designed to run once per reconstruction iteration, so it avoids
+        the O(full rescan) of :meth:`matches_rescan`:
+
+        1. any desync recorded by :meth:`notify_edges_removed` (a
+           structural mutation the pool was never told about);
+        2. the structural counter itself (catches mutations made since
+           the last notification);
+        3. the graph's cached CSR snapshot coherence (catches mutations
+           that bypassed the version-stamp protocol entirely);
+        4. a sampled staleness probe: the first clique of the sorted
+           view must still be a maximal clique of the live graph.
+
+        The engine loop treats a non-None return as grounds to fall
+        back to the rescan engine (or to raise, under
+        ``strict_invariants``).
+        """
+        if self._desync is not None:
+            return self._desync
+        if self._synced_structure_version != self._graph.structure_version:
+            return (
+                f"graph structure_version advanced from "
+                f"{self._synced_structure_version} to "
+                f"{self._graph.structure_version} without a "
+                "notify_edges_removed call"
+            )
+        incoherence = self._graph.check_snapshot_coherence()
+        if incoherence is not None:
+            return f"graph snapshot incoherent: {incoherence}"
+        view = self.current()
+        if view:
+            probe = view[0]
+            if not is_maximal_clique(self._graph, probe):
+                return (
+                    f"pooled clique {sorted(probe)} is no longer a "
+                    "maximal clique of the live graph"
+                )
+        return None

@@ -14,15 +14,26 @@ in what order cells complete:
   from its ``(name, dataset_seed)`` key (bundle generation is bitwise
   deterministic) and runs the method with the cell seed; no state flows
   between cells.
-- **Checkpointing is incremental and atomic.**  After every completed
-  cell the full result map is rewritten via ``os.replace``, so a killed
-  grid resumes from its last completed cell and the merged result is
-  identical to an uninterrupted run.
-- **Failures are quarantined.**  A cell that raises is recorded as
-  ``status="failed"`` with the exception; a cell that hard-crashes its
-  worker process (pool breakage) is retried up to ``max_attempts`` times
-  and then recorded as failed - either way the rest of the grid
-  completes.
+- **Checkpointing is incremental, atomic, and integrity-verified.**
+  After every completed cell the full result map is rewritten through
+  :class:`~repro.resilience.checkpoint.CheckpointStore` (fsync before
+  rename, sha256 footer, rollback to the last verified copy), so a
+  killed grid resumes from its last completed cell and a corrupted
+  checkpoint is detected and recovered instead of silently trusted.
+- **Failures are retried, then quarantined with a taxonomy.**  Each
+  cell runs under a :class:`~repro.resilience.retry.RetryPolicy`:
+  retryable failures (``crash`` / ``timeout`` / ``transient``) are
+  re-executed with exponentially backed-off, deterministically
+  jittered delays until the attempt budget runs out; deterministic
+  failures quarantine immediately.  Quarantine records carry the
+  structured ``error_class`` taxonomy plus the attempts consumed, and
+  either way the rest of the grid completes.
+- **Faults are injectable, deterministically.**  A
+  :class:`~repro.resilience.faults.FaultPlan` sabotages chosen
+  (cell, attempt) pairs and checkpoint writes as a pure function of
+  its seed, which is how the retry/recovery machinery is itself
+  regression-tested: a fault-injected grid must complete with results
+  byte-identical to a fault-free serial run.
 
 ``accuracy_table`` and ``seed_sweep`` route through :func:`run_grid`, so
 the serial experiment surface and the sharded one share a single cell
@@ -36,10 +47,13 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
-import tempfile
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
 from functools import lru_cache
 from pathlib import Path
@@ -47,6 +61,19 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.errors import (
+    CellTimeout,
+    InjectedCrash,
+    TransientCellError,
+)
+from repro.resilience.faults import FaultPlan
+from repro.resilience.retry import (
+    RETRYABLE_CLASSES,
+    RetryPolicy,
+    classify_error,
+    watchdog,
+)
 from repro.rng import MASK64, mix_tokens
 
 #: Method-name prefix that triggers deliberate cell failure.  Used by the
@@ -54,11 +81,12 @@ from repro.rng import MASK64, mix_tokens
 #: ``FAULT:raise`` raises inside the cell executor (recorded failure),
 #: ``FAULT:exit`` kills the executing process outright (simulates a
 #: crashed worker; with ``workers=1`` this kills the caller, so only use
-#: it against a pool).
+#: it against a pool), and ``FAULT:sleep:<seconds>`` hangs the cell for
+#: that long before raising (exercises the watchdog).
 FAULT_PREFIX = "FAULT:"
 
-#: Checkpoint schema version.
-CHECKPOINT_VERSION = 1
+#: Checkpoint schema version (v2 added the sha256 integrity footer).
+CHECKPOINT_VERSION = 2
 
 
 @dataclasses.dataclass(frozen=True)
@@ -168,45 +196,90 @@ def _load_bundle(name: str, seed: int):
     return load(name, seed=seed)
 
 
+def _inject_fault(
+    kind: str, attempt: int, watchdog_armed: bool, cell_timeout
+) -> None:
+    """Raise (or hang into) the injected fault ``kind``.
+
+    ``timeout`` faults prefer to *hang* past an armed watchdog so the
+    real ``SIGALRM`` machinery fires; without a watchdog they raise
+    :class:`CellTimeout` directly, which classifies identically.
+    """
+    if kind == "crash":
+        raise InjectedCrash(f"injected worker crash (attempt {attempt})")
+    if kind == "transient":
+        raise TransientCellError(
+            f"injected transient fault (attempt {attempt})"
+        )
+    if kind == "timeout":
+        if watchdog_armed and cell_timeout:
+            # The watchdog interrupts this sleep with CellTimeout.
+            time.sleep(float(cell_timeout) * 4.0 + 0.05)
+        raise CellTimeout(f"injected cell timeout (attempt {attempt})")
+    raise ValueError(f"unknown injected fault kind {kind!r}")
+
+
 def _execute_cell(
     payload: Dict[str, object], bundle: Optional[object] = None
 ) -> Dict[str, object]:
-    """Run one grid cell; always returns a record, never raises.
+    """Run one grid cell attempt; always returns a record, never raises.
 
     Importable at module top level so process pools can pickle it under
     any start method.  ``bundle`` is an inline-only shortcut (the pool
     always reloads from the registry, which is bitwise-identical).
-    ``FAULT:*`` methods are the harness's fault injection: ``raise``
-    exercises the recorded-failure path, ``exit`` kills the process to
-    exercise pool breakage.
+
+    The payload may carry resilience fields set by the driver:
+    ``attempt`` (0-based), ``backoff_seconds`` (slept before executing,
+    so retries back off inside the worker without blocking the
+    coordinator), ``cell_timeout`` (watchdog deadline), and ``fault``
+    (a :class:`FaultPlan` injection for this attempt).  ``FAULT:*``
+    methods are the legacy harness injections: ``raise`` exercises the
+    recorded-failure path, ``exit`` kills the process to exercise real
+    pool breakage, ``sleep:<seconds>`` hangs to exercise the watchdog.
     """
     from repro.experiments.harness import run_method
 
     method = str(payload["method"])
+    attempt = int(payload.get("attempt", 0))
     record: Dict[str, object] = {
         "key": payload["key"],
         "method": method,
         "dataset": payload["dataset"],
         "seed_index": payload["seed_index"],
         "cell_seed": payload["cell_seed"],
+        "attempt": attempt,
     }
+    backoff = float(payload.get("backoff_seconds") or 0.0)
+    if backoff > 0.0:
+        time.sleep(backoff)
+    cell_timeout = payload.get("cell_timeout")
     try:
-        if method.startswith(FAULT_PREFIX):
-            kind = method[len(FAULT_PREFIX) :]
-            if kind == "exit":
-                os._exit(1)
-            raise RuntimeError(f"injected fault {kind!r}")
-        if bundle is None:
+        # Bundle loading is infrastructure, not cell work: it happens
+        # before the watchdog arms so a pool worker's cold first cell
+        # (imports + dataset generation) cannot spuriously trip a tight
+        # deadline meant for the method itself.
+        if bundle is None and not method.startswith(FAULT_PREFIX):
             bundle = _load_bundle(
                 str(payload["dataset"]), int(payload["dataset_seed"])
             )
-        started = time.perf_counter()
-        result = run_method(
-            method,
-            bundle,
-            preserve_multiplicity=bool(payload["preserve_multiplicity"]),
-            seed=int(payload["cell_seed"]),
-        )
+        with watchdog(cell_timeout) as armed:
+            fault = payload.get("fault")
+            if fault:
+                _inject_fault(str(fault), attempt, armed, cell_timeout)
+            if method.startswith(FAULT_PREFIX):
+                kind = method[len(FAULT_PREFIX) :]
+                if kind == "exit":
+                    os._exit(1)
+                if kind.startswith("sleep:"):
+                    time.sleep(float(kind.split(":", 1)[1]))
+                raise RuntimeError(f"injected fault {kind!r}")
+            started = time.perf_counter()
+            result = run_method(
+                method,
+                bundle,
+                preserve_multiplicity=bool(payload["preserve_multiplicity"]),
+                seed=int(payload["cell_seed"]),
+            )
         record.update(
             status="ok",
             jaccard=result.jaccard,
@@ -222,6 +295,7 @@ def _execute_cell(
         record.update(
             status="failed",
             error_type=type(exc).__name__,
+            error_class=classify_error(type(exc).__name__),
             error_message=str(exc),
             error_traceback=traceback.format_exc(),
         )
@@ -236,10 +310,15 @@ class GridResult:
         spec: GridSpec,
         cells: Dict[str, Dict[str, object]],
         wall_seconds: float = 0.0,
+        stats: Optional[Dict[str, object]] = None,
     ) -> None:
         self.spec = spec
         self.cells = cells
         self.wall_seconds = wall_seconds
+        #: Resilience telemetry of the producing run (retries, injected
+        #: faults, corruption detections, rollbacks).  Run-varying by
+        #: nature, so excluded from :meth:`deterministic_payload`.
+        self.stats: Dict[str, object] = stats if stats is not None else {}
 
     @property
     def n_completed(self) -> int:
@@ -257,9 +336,11 @@ class GridResult:
         """The scheduling-invariant view of the result.
 
         Everything here is a pure function of the grid spec: scores,
-        seeds, statuses, and failure identities.  Timings, tracebacks
-        (whose frames differ between inline and pooled execution), and
-        attempt counts are excluded - they legitimately vary run to run.
+        seeds, statuses, and failure identities (including the
+        ``error_class`` taxonomy, which is a pure function of the error
+        type).  Timings, tracebacks (whose frames differ between inline
+        and pooled execution), and attempt counts are excluded - they
+        legitimately vary run to run.
         """
         cells = {}
         for key, record in sorted(self.cells.items()):
@@ -274,6 +355,7 @@ class GridResult:
                     "jaccard",
                     "multi_jaccard",
                     "error_type",
+                    "error_class",
                     "error_message",
                 )
                 if field in record
@@ -327,44 +409,27 @@ class GridResult:
 # ----------------------------------------------------------------------
 # Checkpointing
 # ----------------------------------------------------------------------
-def _write_checkpoint(
-    path: Path, spec: GridSpec, cells: Dict[str, Dict[str, object]]
-) -> None:
-    """Atomically persist the full result map (tmp file + ``os.replace``)."""
-    payload = {
+def _checkpoint_payload(
+    spec: GridSpec, cells: Dict[str, Dict[str, object]]
+) -> Dict[str, object]:
+    return {
         "version": CHECKPOINT_VERSION,
         "fingerprint": spec.fingerprint(),
         "spec": spec.as_dict(),
         "cells": cells,
     }
-    path.parent.mkdir(parents=True, exist_ok=True)
-    handle = tempfile.NamedTemporaryFile(
-        "w",
-        encoding="utf-8",
-        dir=path.parent,
-        prefix=path.name + ".",
-        suffix=".tmp",
-        delete=False,
-    )
-    try:
-        with handle:
-            json.dump(payload, handle, sort_keys=True)
-        os.replace(handle.name, path)
-    except BaseException:
-        os.unlink(handle.name)
-        raise
 
 
-def load_checkpoint(path: Path) -> Optional[Dict[str, object]]:
-    """Read a checkpoint, tolerating a missing or torn file (→ ``None``)."""
-    path = Path(path)
-    if not path.exists():
-        return None
-    try:
-        payload = json.loads(path.read_text(encoding="utf-8"))
-    except (OSError, json.JSONDecodeError):
-        return None
-    if payload.get("version") != CHECKPOINT_VERSION:
+def load_checkpoint(path) -> Optional[Dict[str, object]]:
+    """Read a checkpoint, tolerating missing/torn/corrupt files (→ ``None``).
+
+    Routes through :class:`CheckpointStore`, so a primary that fails
+    its sha256 verification transparently falls back to the ``.bak``
+    copy.  Checkpoints from other schema versions read as ``None`` (the
+    caller starts fresh) rather than being misinterpreted.
+    """
+    payload = CheckpointStore(Path(path)).read()
+    if payload is None or payload.get("version") != CHECKPOINT_VERSION:
         return None
     return payload
 
@@ -387,6 +452,7 @@ def _failure_record(
         "cell_seed": cell["cell_seed"],
         "status": "failed",
         "error_type": error_type,
+        "error_class": classify_error(error_type),
         "error_message": error_message,
     }
     if error_traceback is not None:
@@ -412,6 +478,8 @@ def run_grid(
     max_attempts: int = 2,
     retry_failed: bool = False,
     inline_bundles: Optional[Dict[str, object]] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> GridResult:
     """Execute the grid, sharding cells over ``workers`` processes.
 
@@ -425,17 +493,19 @@ def run_grid(
         byte-identical either way (see :meth:`GridResult.canonical_json`).
     checkpoint_path:
         When given, every completed cell atomically rewrites this JSON
-        file; a later call with the same spec resumes from it, skipping
-        completed cells.  A checkpoint written for a *different* spec
-        raises ``ValueError`` instead of silently mixing grids.
+        file through :class:`CheckpointStore` (fsync-before-rename,
+        sha256 footer, ``.bak`` rollback); a later call with the same
+        spec resumes from it, skipping completed cells.  A checkpoint
+        written for a *different* spec raises ``ValueError`` instead of
+        silently mixing grids.
     max_cells:
         Stop after completing this many *new* cells (the checkpoint
         keeps them); used to bound one call's work and by the harness to
         simulate a mid-grid kill.
     max_attempts:
-        How many times a cell may crash its worker process (pool
-        breakage) before being recorded as failed.  Cells that merely
-        *raise* are recorded as failed on the first attempt.
+        Attempt budget per cell when no ``retry_policy`` is given
+        (kept for backward compatibility; equivalent to
+        ``RetryPolicy(max_attempts=max_attempts)``).
     retry_failed:
         Re-run cells whose checkpointed status is ``failed`` instead of
         keeping the failure record.
@@ -448,9 +518,42 @@ def run_grid(
         to its registry reload - a modified or differently-seeded bundle
         raises ``ValueError`` instead of being silently replaced by
         pristine registry data.
+    retry_policy:
+        Attempt budget, backoff schedule, and watchdog deadline per
+        cell.  Retryable failures (``crash``/``timeout``/``transient``)
+        are re-executed with deterministic jittered backoff before
+        being quarantined; deterministic failures quarantine on first
+        contact.
+    fault_plan:
+        Deterministic fault injection (testing/chaos): sabotages chosen
+        (cell, attempt) pairs and checkpoint writes as a pure function
+        of the plan seed.  Requires a retry budget exceeding the plan's
+        ``max_faults_per_cell`` so injected faults can never quarantine
+        a healthy cell.
+
+    Returns a :class:`GridResult` whose ``stats`` dict carries the
+    resilience telemetry: ``retries``, ``faults_injected``,
+    ``fault_log`` (sorted ``(key, attempt, kind)`` triples),
+    ``corruptions_injected``, ``corruptions_detected``, ``rollbacks``.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    policy = (
+        retry_policy
+        if retry_policy is not None
+        else RetryPolicy(max_attempts=max_attempts)
+    )
+    if (
+        fault_plan is not None
+        and fault_plan.has_cell_faults
+        and policy.max_attempts <= fault_plan.max_faults_per_cell
+    ):
+        raise ValueError(
+            f"retry budget ({policy.max_attempts} attempts) does not exceed "
+            f"the fault plan's max_faults_per_cell "
+            f"({fault_plan.max_faults_per_cell}); injected faults could "
+            "quarantine healthy cells.  Raise max_attempts or lower the cap."
+        )
     if workers > 1 and inline_bundles:
         for name, bundle in inline_bundles.items():
             try:
@@ -465,15 +568,27 @@ def run_grid(
                     "provided.  Pass dataset_seed to match how the bundle "
                     "was loaded, or run with workers=1 for ad-hoc bundles."
                 )
-    checkpoint = Path(checkpoint_path) if checkpoint_path else None
+    store = (
+        CheckpointStore(Path(checkpoint_path)) if checkpoint_path else None
+    )
+    stats: Dict[str, object] = {
+        "retries": 0,
+        "faults_injected": 0,
+        "fault_log": [],
+        "corruptions_injected": 0,
+        "corruptions_detected": 0,
+        "rollbacks": 0,
+    }
 
     cells: Dict[str, Dict[str, object]] = {}
-    if checkpoint is not None:
-        existing = load_checkpoint(checkpoint)
+    if store is not None:
+        existing = store.read()
+        if existing is not None and existing.get("version") != CHECKPOINT_VERSION:
+            existing = None
         if existing is not None:
             if existing["fingerprint"] != spec.fingerprint():
                 raise ValueError(
-                    f"checkpoint {checkpoint} was written for a different "
+                    f"checkpoint {store.path} was written for a different "
                     "grid; delete it or point at a fresh path"
                 )
             cells = dict(existing["cells"])
@@ -489,61 +604,149 @@ def run_grid(
         pending = pending[:max_cells]
 
     started = time.perf_counter()
+    fault_seen = set()
 
-    def record_done(record: Dict[str, object]) -> None:
-        cells[str(record["key"])] = record
-        if checkpoint is not None:
-            _write_checkpoint(checkpoint, spec, cells)
+    def attempt_payload(cell: Dict[str, object], attempt: int) -> Dict[str, object]:
+        """Cell payload for one execution attempt, fault/backoff included."""
+        key = str(cell["key"])
+        payload = dict(cell)
+        payload["attempt"] = attempt
+        payload["cell_timeout"] = policy.cell_timeout
+        payload["backoff_seconds"] = (
+            policy.backoff_seconds(key, attempt) if attempt else 0.0
+        )
+        fault = (
+            fault_plan.fault_for(key, attempt) if fault_plan is not None else None
+        )
+        payload["fault"] = fault
+        if fault is not None and (key, attempt) not in fault_seen:
+            fault_seen.add((key, attempt))
+            stats["faults_injected"] += 1
+            stats["fault_log"].append((key, attempt, fault))
+        return payload
+
+    def needs_retry(record: Dict[str, object], attempt: int) -> bool:
+        return (
+            record.get("status") != "ok"
+            and record.get("error_class") in RETRYABLE_CLASSES
+            and attempt + 1 < policy.max_attempts
+        )
+
+    def record_done(record: Dict[str, object], attempts: int) -> None:
+        record["attempts"] = attempts
+        key = str(record["key"])
+        cells[key] = record
+        if store is not None:
+            store.write(_checkpoint_payload(spec, cells))
+            if fault_plan is not None and fault_plan.corrupts_checkpoint(key):
+                if store.corrupt():
+                    stats["corruptions_injected"] += 1
 
     if workers == 1 or not pending:
         provided = inline_bundles or {}
         for cell in pending:
-            record_done(
-                _execute_cell(cell, bundle=provided.get(str(cell["dataset"])))
-            )
+            bundle = provided.get(str(cell["dataset"]))
+            attempt = 0
+            while True:
+                record = _execute_cell(
+                    attempt_payload(cell, attempt), bundle=bundle
+                )
+                if not needs_retry(record, attempt):
+                    break
+                stats["retries"] += 1
+                attempt += 1
+            record_done(record, attempt + 1)
     else:
-        crashed: List[Dict[str, object]] = []
+        crashed: List[Tuple[Dict[str, object], int]] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_execute_cell, cell): cell for cell in pending
-            }
-            for future in as_completed(futures):
-                cell = futures[future]
+            futures: Dict[object, Tuple[Dict[str, object], int]] = {}
+
+            def submit(cell: Dict[str, object], attempt: int) -> None:
+                payload = attempt_payload(cell, attempt)
                 try:
-                    record = future.result()
-                except BrokenProcessPool:
-                    crashed.append(cell)
-                    continue
-                except Exception as exc:
-                    record = _infrastructure_failure(cell, exc)
-                record_done(record)
+                    futures[pool.submit(_execute_cell, payload)] = (
+                        cell,
+                        attempt,
+                    )
+                except (BrokenProcessPool, RuntimeError):
+                    # Pool already broken: route to isolated execution.
+                    crashed.append((cell, attempt))
+
+            for cell in pending:
+                submit(cell, 0)
+            while futures:
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    cell, attempt = futures.pop(future)
+                    try:
+                        record = future.result()
+                    except BrokenProcessPool:
+                        crashed.append((cell, attempt))
+                        continue
+                    except Exception as exc:
+                        record_done(
+                            _infrastructure_failure(cell, exc), attempt + 1
+                        )
+                        continue
+                    if needs_retry(record, attempt):
+                        stats["retries"] += 1
+                        submit(cell, attempt + 1)
+                    else:
+                        record_done(record, attempt + 1)
         # A broken pool cannot attribute the crash to one future: every
         # unfinished cell lands here, innocents included.  Re-running
         # each crashed cell in its own dedicated single-worker pool makes
         # the attribution conclusive - a cell that breaks its private
-        # pool (max_attempts times) is the culprit and is quarantined as
-        # failed; bystanders simply complete - so one poisoned cell
-        # never sinks the grid.
-        for cell in crashed:
+        # pool until the retry budget runs out is the culprit and is
+        # quarantined with ``error_class="crash"``; bystanders simply
+        # complete - so one poisoned cell never sinks the grid.
+        for cell, attempt in crashed:
+            isolated = 0
             record = None
-            for attempt in range(1, max_attempts + 1):
+            while True:
+                isolated += 1
                 with ProcessPoolExecutor(max_workers=1) as solo:
                     try:
-                        record = solo.submit(_execute_cell, cell).result()
-                        break
+                        record = solo.submit(
+                            _execute_cell, attempt_payload(cell, attempt)
+                        ).result()
                     except BrokenProcessPool:
                         record = _failure_record(
                             cell,
                             "WorkerCrash",
                             "worker process died while executing this "
-                            f"cell ({attempt} isolated attempts)",
+                            f"cell ({isolated} isolated attempts)",
                         )
                     except Exception as exc:
                         record = _infrastructure_failure(cell, exc)
                         break
-            record_done(record)
+                if not needs_retry(record, attempt):
+                    break
+                stats["retries"] += 1
+                attempt += 1
+            record_done(record, attempt + 1)
 
-    return GridResult(spec, cells, wall_seconds=time.perf_counter() - started)
+    # End-of-run audit: a checkpoint corrupted after its final write
+    # (e.g. by an injected corruption on the last cell) is detected and
+    # repaired from the authoritative in-memory state, so what survives
+    # on disk always verifies.
+    if store is not None:
+        if cells and not store.verify():
+            stats["corruptions_detected"] += 1
+            store.write(_checkpoint_payload(spec, cells))
+        for event in store.events:
+            if event["event"] == "corrupt-checkpoint":
+                stats["corruptions_detected"] += 1
+            elif event["event"] == "rollback":
+                stats["rollbacks"] += 1
+    stats["fault_log"] = sorted(stats["fault_log"])
+
+    return GridResult(
+        spec,
+        cells,
+        wall_seconds=time.perf_counter() - started,
+        stats=stats,
+    )
 
 
 # ----------------------------------------------------------------------

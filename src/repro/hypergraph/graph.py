@@ -563,6 +563,33 @@ class WeightedGraph:
             self._snapshot_cache = self._build_snapshot()
         return self._snapshot_cache
 
+    def check_snapshot_coherence(self) -> Optional[str]:
+        """Audit the cached snapshot against the live graph state.
+
+        The incremental-patch protocol promises the cached
+        :class:`GraphSnapshot` is either absent or stamped with the
+        current :attr:`version` and sized to the current node set; a
+        mismatch means a mutation bypassed ``_bump``/``_patch`` and
+        every consumer of the snapshot may be scoring stale weights.
+        Returns a description of the first violation, or ``None`` when
+        coherent.  Cheap (counter comparisons only) - safe to call once
+        per reconstruction iteration.
+        """
+        snapshot = self._snapshot_cache
+        if snapshot is None:
+            return None
+        if snapshot.version != self._version:
+            return (
+                f"cached snapshot stamped version {snapshot.version} but "
+                f"graph is at version {self._version}"
+            )
+        if snapshot.num_nodes != len(self._adj):
+            return (
+                f"cached snapshot holds {snapshot.num_nodes} nodes but "
+                f"graph has {len(self._adj)}"
+            )
+        return None
+
     def _build_snapshot(self) -> GraphSnapshot:
         node_ids = sorted(self._adj)
         n = len(node_ids)

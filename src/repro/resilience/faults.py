@@ -1,0 +1,209 @@
+"""Deterministic fault injection: the :class:`FaultPlan`.
+
+A fault plan decides - as a *pure function* of its seed and a cell's
+coordinates - whether a given execution attempt is sabotaged and how.
+It draws nothing from any stateful RNG: every decision is a SplitMix64
+mix of ``(seed, domain-tag, cell_key, attempt)`` via
+:func:`repro.rng.unit_uniform`, so
+
+- the same plan seed reproduces the exact same fault sequence on every
+  run, at any worker count, in any completion order;
+- the fault stream is independent of the orchestrator's per-cell seed
+  stream and of the retry engine's backoff-jitter stream (each uses a
+  distinct domain tag);
+- a plan can be *described* without being executed
+  (:meth:`FaultPlan.sequence` enumerates every fault it would inject).
+
+Fault kinds
+-----------
+``crash``
+    The cell raises :class:`~repro.resilience.errors.InjectedCrash`,
+    exercising the retry engine's crash recovery path.
+``timeout``
+    The cell raises :class:`~repro.resilience.errors.CellTimeout` - or,
+    when a watchdog is armed, sleeps past the watchdog deadline so the
+    *real* timeout machinery fires.
+``transient``
+    The cell raises :class:`~repro.resilience.errors.TransientCellError`.
+``corrupt``
+    Not a cell fault: after the cell's checkpoint write, the on-disk
+    checkpoint is deliberately damaged, exercising sha256 verification
+    and rollback in :class:`~repro.resilience.checkpoint.CheckpointStore`.
+
+Completion guarantee
+--------------------
+``max_faults_per_cell`` caps how many of a cell's attempts the plan may
+sabotage.  As long as the retry budget exceeds that cap, every cell is
+guaranteed at least one clean attempt, so a fault-injected grid whose
+cells are themselves healthy *always* completes - with results
+byte-identical to a fault-free run, since faulted attempts never touch
+the cell's method or its seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.rng import MASK64, unit_uniform
+
+#: Kinds injected into cell execution (in cumulative-probability order).
+CELL_FAULT_KINDS = ("crash", "timeout", "transient")
+
+#: All kinds a plan can inject, including the checkpoint channel.
+FAULT_KINDS = CELL_FAULT_KINDS + ("corrupt",)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic fault schedule keyed by a SplitMix64 seed.
+
+    Parameters
+    ----------
+    seed:
+        Keys every decision; same seed = same fault sequence.
+    p_crash, p_timeout, p_transient:
+        Per-attempt probabilities of each cell-fault kind (their sum
+        must not exceed 1).
+    p_corrupt:
+        Per-cell probability that the checkpoint write following that
+        cell's completion is corrupted on disk.
+    max_faults_per_cell:
+        Hard cap on sabotaged attempts per cell; see the module
+        docstring's completion guarantee.
+    """
+
+    seed: int = 0
+    p_crash: float = 0.0
+    p_timeout: float = 0.0
+    p_transient: float = 0.0
+    p_corrupt: float = 0.0
+    max_faults_per_cell: int = 2
+
+    def __post_init__(self) -> None:
+        for name in ("p_crash", "p_timeout", "p_transient", "p_corrupt"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        total = self.p_crash + self.p_timeout + self.p_transient
+        if total > 1.0:
+            raise ValueError(
+                f"cell-fault probabilities sum to {total}; must be <= 1"
+            )
+        if self.max_faults_per_cell < 0:
+            raise ValueError(
+                f"max_faults_per_cell must be >= 0, "
+                f"got {self.max_faults_per_cell}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def has_cell_faults(self) -> bool:
+        """Does this plan inject any crash/timeout/transient faults?"""
+        return (self.p_crash + self.p_timeout + self.p_transient) > 0.0
+
+    @property
+    def has_any_faults(self) -> bool:
+        return self.has_cell_faults or self.p_corrupt > 0.0
+
+    def _draw(self, cell_key: str, attempt: int) -> Optional[str]:
+        """The raw (uncapped) fault decision for one attempt."""
+        u = unit_uniform(
+            self.seed & MASK64, ("cell-fault", cell_key, attempt)
+        )
+        edge = 0.0
+        for kind, p in zip(
+            CELL_FAULT_KINDS, (self.p_crash, self.p_timeout, self.p_transient)
+        ):
+            edge += p
+            if u < edge:
+                return kind
+        return None
+
+    def fault_for(self, cell_key: str, attempt: int) -> Optional[str]:
+        """The fault (or ``None``) injected into ``attempt`` of this cell.
+
+        Replays the decisions of attempts ``0..attempt`` so the
+        ``max_faults_per_cell`` cap is honored no matter which attempt
+        is queried first - the schedule is a pure function, not a
+        consumed stream.
+        """
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        injected = 0
+        for earlier in range(attempt + 1):
+            if injected >= self.max_faults_per_cell:
+                decision = None
+            else:
+                decision = self._draw(cell_key, earlier)
+            if earlier == attempt:
+                return decision
+            if decision is not None:
+                injected += 1
+        return None  # unreachable; keeps type checkers calm
+
+    def corrupts_checkpoint(self, cell_key: str) -> bool:
+        """Should the checkpoint write after ``cell_key`` be corrupted?"""
+        if self.p_corrupt <= 0.0:
+            return False
+        return (
+            unit_uniform(self.seed & MASK64, ("checkpoint-corrupt", cell_key))
+            < self.p_corrupt
+        )
+
+    def sequence(
+        self, cell_keys: Iterable[str], max_attempts: int
+    ) -> List[Tuple[str, int, str]]:
+        """Every fault the plan would inject, in canonical order.
+
+        The full reproducible schedule for a grid: cell-fault entries
+        ``(key, attempt, kind)`` plus ``(key, -1, "corrupt")`` markers
+        for checkpoint corruption.  Two plans with the same seed and
+        probabilities return identical sequences.
+        """
+        schedule: List[Tuple[str, int, str]] = []
+        for key in cell_keys:
+            for attempt in range(max_attempts):
+                kind = self.fault_for(key, attempt)
+                if kind is not None:
+                    schedule.append((key, attempt, kind))
+            if self.corrupts_checkpoint(key):
+                schedule.append((key, -1, "corrupt"))
+        return schedule
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultPlan":
+        return cls(**{k: payload[k] for k in payload})
+
+    @classmethod
+    def from_string(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Parse a CLI-style spec like ``"crash=0.2,timeout=0.2,corrupt=0.1"``.
+
+        Recognized keys: ``crash``, ``timeout``, ``transient``,
+        ``corrupt`` (probabilities) and ``max_faults`` (integer cap).
+        """
+        kwargs: Dict[str, object] = {"seed": seed}
+        for token in spec.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if "=" not in token:
+                raise ValueError(
+                    f"bad fault spec token {token!r}; expected key=value"
+                )
+            key, _, value = token.partition("=")
+            key = key.strip()
+            if key in ("crash", "timeout", "transient", "corrupt"):
+                kwargs[f"p_{key}"] = float(value)
+            elif key == "max_faults":
+                kwargs["max_faults_per_cell"] = int(value)
+            else:
+                raise ValueError(
+                    f"unknown fault kind {key!r}; known: crash, timeout, "
+                    "transient, corrupt, max_faults"
+                )
+        return cls(**kwargs)

@@ -1,0 +1,80 @@
+"""Human-readable rendering of quarantine and resilience telemetry.
+
+A partially failed grid must not look like a clean one: the CLI prints
+the quarantine table below whenever any cell ends quarantined (and
+exits nonzero), and the one-line resilience summary whenever retries or
+fault injection were in play.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Mapping
+
+
+def summarize_failures(
+    failures: Mapping[str, Mapping[str, object]]
+) -> Dict[str, int]:
+    """Failure counts per error-taxonomy class, alphabetically keyed."""
+    counts = Counter(
+        str(record.get("error_class", "error")) for record in failures.values()
+    )
+    return dict(sorted(counts.items()))
+
+
+def format_quarantine_table(
+    failures: Mapping[str, Mapping[str, object]], max_message: int = 48
+) -> str:
+    """Render quarantined cells as an aligned text table.
+
+    One row per cell: key, taxonomy class, attempts consumed, and the
+    final error (type + truncated message).  A per-class summary line
+    closes the table.
+    """
+    if not failures:
+        return "quarantine: empty (no failed cells)"
+    rows = []
+    for key, record in sorted(failures.items()):
+        message = str(record.get("error_message", ""))
+        if len(message) > max_message:
+            message = message[: max_message - 3] + "..."
+        rows.append(
+            (
+                str(key),
+                str(record.get("error_class", "error")),
+                str(record.get("attempts", "?")),
+                f"{record.get('error_type', '?')}: {message}",
+            )
+        )
+    headers = ("cell", "class", "attempts", "error")
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows))
+        for i in range(len(headers))
+    ]
+    def render(cells):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [
+        f"quarantined cells ({len(rows)}):",
+        render(headers),
+        render(tuple("-" * w for w in widths)),
+    ]
+    lines.extend(render(row) for row in rows)
+    summary = summarize_failures(failures)
+    lines.append(
+        "by class: "
+        + ", ".join(f"{name}={count}" for name, count in summary.items())
+    )
+    return "\n".join(lines)
+
+
+def format_resilience_summary(stats: Mapping[str, object]) -> str:
+    """One-line telemetry summary of a grid run's resilience activity."""
+    parts = [
+        f"retries={stats.get('retries', 0)}",
+        f"faults_injected={stats.get('faults_injected', 0)}",
+        f"corruptions_injected={stats.get('corruptions_injected', 0)}",
+        f"corruptions_detected={stats.get('corruptions_detected', 0)}",
+        f"rollbacks={stats.get('rollbacks', 0)}",
+    ]
+    return "resilience: " + " ".join(parts)

@@ -63,6 +63,19 @@ def mix_tokens(seed: int, tokens: Iterable[object]) -> int:
     return state
 
 
+def unit_uniform(seed: int, tokens: Iterable[object]) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` keyed by ``(seed, tokens)``.
+
+    A pure function of its inputs (no stream state), built on
+    :func:`mix_tokens`; two call sites that salt their tokens with
+    distinct domain tags (e.g. ``"cell-fault"`` vs ``"retry-backoff"``)
+    obtain statistically independent values from the same seed.  This is
+    what lets the fault-injection and retry-jitter streams coexist with
+    the orchestrator's per-cell seed stream without any cross-talk.
+    """
+    return mix_tokens(seed, tokens) / 2.0**64
+
+
 def counter_permutation(seed: int, counter: int, n: int) -> np.ndarray:
     """Deterministic permutation of ``range(n)`` keyed by ``(seed, counter)``.
 

@@ -18,6 +18,11 @@ def pytest_configure(config):
         "seed_matrix: determinism test swept over the --seed-matrix seeds "
         "(via its matrix_seed parameter); CI passes --seed-matrix 0,1,2",
     )
+    config.addinivalue_line(
+        "markers",
+        "faults: chaos/fault-injection property tests (grid-under-faults "
+        "determinism, corruption recovery); CI's chaos job runs -m faults",
+    )
 
 
 def pytest_generate_tests(metafunc):

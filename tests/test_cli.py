@@ -182,7 +182,61 @@ class TestRunGrid:
             )
             == 1
         )
-        assert "FAILED" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        # The quarantine table: cell key, taxonomy class, attempts, and
+        # the per-class summary line.
+        assert "quarantined cells (1):" in out
+        assert "FAULT:raise|directors|0" in out
+        assert "by class: error=1" in out
+
+    def test_fault_injection_flags(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "run-grid",
+                    "--methods", "MaxClique",
+                    "--datasets", "directors",
+                    "--seeds", "0", "1",
+                    "--inject-faults", "transient=1.0,max_faults=1",
+                    "--fault-seed", "3",
+                    "--checkpoint", str(tmp_path / "ck.json"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fault injection: transient=1.0,max_faults=1 (seed 3)" in out
+        assert "resilience: retries=2 faults_injected=2" in out
+
+    def test_bad_fault_spec_rejected(self, capsys):
+        assert (
+            main(
+                [
+                    "run-grid",
+                    "--methods", "MaxClique",
+                    "--datasets", "directors",
+                    "--inject-faults", "meteor=0.5",
+                ]
+            )
+            == 2
+        )
+        assert "unknown fault kind" in capsys.readouterr().out
+
+    def test_insufficient_retry_budget_rejected(self, capsys):
+        assert (
+            main(
+                [
+                    "run-grid",
+                    "--methods", "MaxClique",
+                    "--datasets", "directors",
+                    "--inject-faults", "crash=0.5,max_faults=2",
+                    "--retries", "2",
+                ]
+            )
+            == 2
+        )
+        assert "retry budget" in capsys.readouterr().out
 
     def test_unknown_bench_rejected(self, capsys):
         assert main(["run-grid", "--bench", "no_such_bench"]) == 2

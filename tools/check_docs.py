@@ -26,6 +26,16 @@ from typing import List, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
+#: documentation every checkout must carry; a refactor that drops one
+#: of these fails the docs job instead of silently shrinking the docs.
+REQUIRED_DOCS = (
+    "README.md",
+    "docs/architecture.md",
+    "docs/benchmarks.md",
+    "docs/performance.md",
+    "docs/robustness.md",
+)
+
 
 def _label(path: Path) -> Path:
     """``path`` relative to the repo root when inside it, else as-is."""
@@ -109,6 +119,9 @@ def main() -> int:
     files = doc_files()
     if len(files) < 2:
         errors.append("docs/ tree is missing or empty")
+    for required in REQUIRED_DOCS:
+        if not (REPO_ROOT / required).exists():
+            errors.append(f"required document missing: {required}")
     n_fences = 0
     for path in files:
         errors.extend(check_links(path))
