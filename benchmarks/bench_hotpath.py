@@ -7,14 +7,26 @@ analogue - and emits a machine-readable ``BENCH_hotpath.json`` under
 ``benchmarks/results/`` so successive PRs can track throughput.  See
 ``docs/performance.md`` for how to read each metric.
 
-Two cache-hit-rate metrics are reported and **asserted present**:
+Four cache/patch-hit-rate metrics are reported and **asserted present**:
 
 - ``featurize_cache_hit_rate`` - steady-state rate of the featurize
   microbench (same candidate list, unmutated graph: the stagnant-
   iteration regime, which the cache serves almost entirely);
-- ``reconstruct_cache_hit_rate`` - rate over the full reconstruction
-  loop on ``eu``, where conversions genuinely touch nodes and force
-  recomputation (the honest loop-level number).
+- ``reconstruct_row_cache_hit_rate`` - feature-row cache rate over the
+  full reconstruction loop on ``eu``, where conversions genuinely touch
+  nodes and force recomputation (the honest loop-level number);
+- ``weight_patch_hit_rate`` - share of weight-only snapshot mutations
+  served by the in-place CSR weight patch (vs a full rebuild);
+- ``structural_patch_hit_rate`` - share of *structural* mutations
+  (edges appearing/vanishing) served by the in-place tombstone/slack
+  patch; rebuilds now only happen at compaction boundaries, so this
+  must stay >= 0.9 on the reconstruction workload.
+
+``test_kernel_backend_speedups`` additionally records which kernel
+backend is active, whether numba is importable, and - where it is -
+the numba-vs-numpy speedup of each lifted kernel (batch MHH, common-
+neighbor intersection, fused Adam).  Without numba the speedup keys are
+written as null and the test skips with a visible notice.
 
 Thresholds are ~10x below measured values; they only trip on
 order-of-magnitude regressions (e.g. the vectorized path silently
@@ -27,8 +39,11 @@ import json
 import os
 import time
 
+import numpy as np
+import pytest
 from conftest import RESULTS_DIR, emit_json
 
+from repro import kernels
 from repro.core.features import CliqueFeaturizer, StructuralFeaturizer
 from repro.core.marioh import MARIOH
 from repro.datasets import load
@@ -42,12 +57,25 @@ from repro.resilience import FaultPlan, RetryPolicy
 #: loudly when any goes missing.
 REQUIRED_CACHE_KEYS = (
     "featurize_cache_hit_rate",
-    "reconstruct_cache_hit_rate",
-    "reconstruct_cache_hits",
-    "reconstruct_cache_misses",
+    "reconstruct_row_cache_hit_rate",
+    "reconstruct_row_cache_hits",
+    "reconstruct_row_cache_misses",
+    "weight_patch_hit_rate",
+    "structural_patch_hit_rate",
+    "snapshot_patch_compactions",
     "reconstruct_iterations",
     "per_iteration_reconstruct_ms_mean",
     "per_iteration_reconstruct_ms_max",
+)
+
+#: kernel-backend keys written by test_kernel_backend_speedups; the
+#: speedups are null (and unasserted) when numba is not importable.
+REQUIRED_KERNEL_KEYS = (
+    "kernel_backend",
+    "numba_available",
+    "kernel_speedup_batch_mhh",
+    "kernel_speedup_common_neighbors",
+    "kernel_speedup_adam",
 )
 
 #: grid-throughput keys written by test_grid_throughput; tracked the
@@ -136,6 +164,19 @@ def test_hotpath_microbench():
     model.reconstruct(graph)
     reconstruct_seconds = time.perf_counter() - started
     loop_stats = featurizer.row_cache_stats()
+    patch_stats = model.snapshot_patch_stats_
+    weight_total = patch_stats["weight_hits"] + patch_stats["weight_misses"]
+    weight_patch_hit_rate = (
+        patch_stats["weight_hits"] / weight_total if weight_total else 1.0
+    )
+    structural_total = (
+        patch_stats["structural_hits"] + patch_stats["structural_misses"]
+    )
+    structural_patch_hit_rate = (
+        patch_stats["structural_hits"] / structural_total
+        if structural_total
+        else 1.0
+    )
     iteration_ms = [1000.0 * s for s in model.iteration_seconds_]
     assert iteration_ms, "reconstruct() recorded no iteration timings"
 
@@ -162,9 +203,18 @@ def test_hotpath_microbench():
                 sum(iteration_ms) / len(iteration_ms), 3
             ),
             "per_iteration_reconstruct_ms_max": round(max(iteration_ms), 3),
-            "reconstruct_cache_hit_rate": round(loop_stats["hit_rate"], 4),
-            "reconstruct_cache_hits": loop_stats["hits"],
-            "reconstruct_cache_misses": loop_stats["misses"],
+            "reconstruct_row_cache_hit_rate": round(
+                loop_stats["hit_rate"], 4
+            ),
+            "reconstruct_row_cache_hits": loop_stats["hits"],
+            "reconstruct_row_cache_misses": loop_stats["misses"],
+            "weight_patch_hit_rate": round(weight_patch_hit_rate, 4),
+            "structural_patch_hit_rate": round(structural_patch_hit_rate, 4),
+            "snapshot_patch_compactions": patch_stats["compactions"],
+            "snapshot_structural_patch_hits": patch_stats["structural_hits"],
+            "snapshot_structural_patch_misses": patch_stats[
+                "structural_misses"
+            ],
         },
     )
 
@@ -187,6 +237,112 @@ def test_hotpath_microbench():
     assert loop_stats["hit_rate"] > 0.25, (
         "reconstruct-loop cache hit rate collapsed: " f"{loop_stats}"
     )
+    # In-place CSR patching: weight patches virtually always hit, and
+    # structural patches (tombstone deletes / slack inserts) must serve
+    # >= 90% of structural mutations - rebuilds only at compaction
+    # boundaries.
+    assert weight_patch_hit_rate > 0.9, f"weight patching fell off: {patch_stats}"
+    assert structural_patch_hit_rate >= 0.9, (
+        f"structural snapshot patching fell off: {patch_stats}"
+    )
+
+
+def _merge_into_hotpath(metrics: dict) -> None:
+    """Fold ``metrics`` into BENCH_hotpath.json (the file CI uploads)."""
+    path = RESULTS_DIR / "BENCH_hotpath.json"
+    payload = (
+        json.loads(path.read_text(encoding="utf-8")) if path.exists() else {}
+    )
+    payload.update(metrics)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def test_kernel_backend_speedups():
+    """Numba-vs-numpy speedup of each lifted kernel, where numba exists.
+
+    The keys are always written (so the trajectory file keeps a stable
+    schema); without numba the speedups are null and the test skips
+    with a visible notice instead of failing.  With numba, each
+    compiled kernel must at least match the vectorized numpy reference
+    (speedup >= 1.0) after JIT warm-up.
+    """
+    metrics = {
+        "kernel_backend": kernels.active_backend_name(),
+        "numba_available": kernels.numba_available(),
+        "kernel_speedup_batch_mhh": None,
+        "kernel_speedup_common_neighbors": None,
+        "kernel_speedup_adam": None,
+    }
+    if not kernels.numba_available():
+        _merge_into_hotpath(metrics)
+        pytest.skip(
+            "numba is not importable: kernel speedups recorded as null "
+            "in BENCH_hotpath.json; install numba to benchmark the "
+            "compiled backend"
+        )
+
+    bundle = load("eu", seed=0)
+    graph = bundle.target_graph
+    snapshot = graph.snapshot()
+    edges = list(graph.edges())
+    a = snapshot.index_of(u for u, _ in edges)
+    b = snapshot.index_of(v for _, v in edges)
+    rng = np.random.default_rng(0)
+    n_params = 200_000
+    adam_buffers = {
+        name: (
+            rng.normal(size=n_params).copy(),
+            np.zeros(n_params),
+            np.zeros(n_params),
+        )
+        for name in ("numpy", "numba")
+    }
+    adam_grads = rng.normal(size=n_params)
+
+    def timed(backend, fn, units):
+        with kernels.use_backend(backend):
+            return _throughput(fn, units)
+
+    speedups = {}
+    for key, fn, units in (
+        (
+            "kernel_speedup_batch_mhh",
+            lambda: snapshot.batch_mhh(a, b),
+            len(edges),
+        ),
+        (
+            "kernel_speedup_common_neighbors",
+            lambda: snapshot.batch_common_neighbor_counts(a, b),
+            len(edges),
+        ),
+    ):
+        reference = timed("numpy", fn, units)
+        compiled = timed("numba", fn, units)
+        speedups[key] = compiled / reference
+
+    def adam_for(backend):
+        params, m, v = adam_buffers[backend]
+
+        def step():
+            kernels.active_backend().adam_step(
+                params, adam_grads, m, v, 1, 1e-3, 0.9, 0.999, 1e-8
+            )
+
+        return step
+
+    reference = timed("numpy", adam_for("numpy"), n_params)
+    compiled = timed("numba", adam_for("numba"), n_params)
+    speedups["kernel_speedup_adam"] = compiled / reference
+
+    metrics.update({key: round(value, 3) for key, value in speedups.items()})
+    _merge_into_hotpath(metrics)
+    for key, value in speedups.items():
+        assert value >= 1.0, (
+            f"{key}: compiled kernel slower than the numpy reference "
+            f"({value:.3f}x)"
+        )
 
 
 def test_grid_throughput():
@@ -339,7 +495,12 @@ def test_hotpath_metrics_written():
         "before this test?"
     )
     payload = json.loads(path.read_text(encoding="utf-8"))
-    required = REQUIRED_CACHE_KEYS + REQUIRED_GRID_KEYS + REQUIRED_RETRY_KEYS
+    required = (
+        REQUIRED_CACHE_KEYS
+        + REQUIRED_GRID_KEYS
+        + REQUIRED_RETRY_KEYS
+        + REQUIRED_KERNEL_KEYS
+    )
     missing = [key for key in required if key not in payload]
     assert not missing, (
         f"BENCH_hotpath.json lost required metrics: {missing}; "

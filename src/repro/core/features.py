@@ -121,18 +121,41 @@ def _prepare_batch(
     # lookups are cached on the graph across edge mutations.
     rows_cache = graph.clique_rows_cache()
     members_list: List[List[int]] = []
-    rows_list: List[np.ndarray] = []
-    for clique in cliques:
+    rows_list: List[np.ndarray] = [None] * len(cliques)  # type: ignore[list-item]
+    pending: List[int] = []
+    for position, clique in enumerate(cliques):
         entry = rows_cache.get(clique) if isinstance(clique, frozenset) else None
         if entry is None:
             members = sorted(set(clique))
             if len(members) < 2:
                 raise ValueError(f"cliques need >= 2 nodes, got {members}")
-            entry = (members, snapshot.index_of(members))
+            members_list.append(members)
+            pending.append(position)
+        else:
+            members_list.append(entry[0])
+            rows_list[position] = entry[1]
+    if pending:
+        # All cache-missing cliques translate member ids -> row indices
+        # through one vectorized binary search over the ragged batch.
+        lengths = [len(members_list[position]) for position in pending]
+        concat = np.fromiter(
+            (
+                member
+                for position in pending
+                for member in members_list[position]
+            ),
+            dtype=np.int64,
+            count=sum(lengths),
+        )
+        rows_concat = snapshot.index_of_array(concat)
+        start = 0
+        for position, length in zip(pending, lengths):
+            rows = rows_concat[start : start + length].copy()
+            start += length
+            rows_list[position] = rows
+            clique = cliques[position]
             if isinstance(clique, frozenset):
-                rows_cache[clique] = entry
-        members_list.append(entry[0])
-        rows_list.append(entry[1])
+                rows_cache[clique] = (members_list[position], rows)
     sizes = np.fromiter(
         (len(m) for m in members_list), dtype=np.int64, count=len(members_list)
     )

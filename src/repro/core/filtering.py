@@ -63,7 +63,9 @@ def filter_guaranteed_pairs(
         return intermediate, reconstruction
     rows = snapshot.keys // snapshot.key_base
     cols = snapshot.keys % snapshot.key_base
-    upper = rows < cols  # each undirected edge once
+    # Each undirected edge once; the alive mask skips tombstoned and
+    # reserved-slack slots of a structurally patched snapshot.
+    upper = (rows < cols) & snapshot.alive
     a, b, weights = rows[upper], cols[upper], snapshot.wts[upper]
     residuals = weights - snapshot.batch_mhh(a, b)
     node_ids = snapshot.node_ids

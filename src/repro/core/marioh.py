@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import kernels as kernel_backends
 from repro.core.classifier import CliqueClassifier
 from repro.core.features import CliqueFeaturizer, StructuralFeaturizer
 from repro.core.filtering import filter_guaranteed_pairs
@@ -118,6 +119,14 @@ class MARIOH:
         :class:`~repro.resilience.errors.InvariantViolation` instead -
         the mode the parity/CI suites run under, so corruption can
         never hide behind the fallback.
+    kernels:
+        Compute backend for the hot array kernels (batch MHH,
+        common-neighbor intersection, fused Adam step) during ``fit`` /
+        ``reconstruct``: ``"numpy"`` (the pinned reference),
+        ``"numba"`` (compiled, requires numba, raises
+        :class:`~repro.kernels.KernelBackendUnavailable` when missing),
+        or ``None`` (the default) to respect the process-wide selection
+        (``REPRO_KERNELS`` environment variable, numpy otherwise).
     seed:
         Seeds classifier initialization and sub-clique sampling.
     """
@@ -135,6 +144,7 @@ class MARIOH:
         engine: str = "incremental",
         strict_invariants: bool = False,
         record_provenance: bool = False,
+        kernels: Optional[str] = None,
         seed: Optional[int] = None,
     ) -> None:
         if not 0.0 < theta_init <= 1.0:
@@ -149,6 +159,11 @@ class MARIOH:
             raise ValueError(
                 f"engine must be 'rescan' or 'incremental', got {engine!r}"
             )
+        if kernels is not None and kernels not in kernel_backends.BACKEND_NAMES:
+            raise ValueError(
+                f"kernels must be one of {kernel_backends.BACKEND_NAMES} "
+                f"or None, got {kernels!r}"
+            )
         self.theta_init = theta_init
         self.r = r
         self.alpha = alpha
@@ -160,6 +175,7 @@ class MARIOH:
         self.engine = engine
         self.strict_invariants = strict_invariants
         self.record_provenance = record_provenance
+        self.kernels = kernels
         self.seed = seed
 
         featurizer = (
@@ -190,6 +206,11 @@ class MARIOH:
         #: invariant self-check and the run degraded to rescan mode:
         #: {"iteration": int, "violation": str}.  None on clean runs.
         self.engine_fallback_: Optional[Dict[str, object]] = None
+        #: the working graph's in-place snapshot patch counters after
+        #: the last reconstruct() (see
+        #: :meth:`~repro.hypergraph.graph.WeightedGraph.snapshot_patch_stats`);
+        #: the source of BENCH_hotpath.json's patch hit rates.
+        self.snapshot_patch_stats_: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -209,6 +230,14 @@ class MARIOH:
         reduced supervision weakens both labels and features, as it would
         with a genuinely smaller source dataset.
         """
+        with kernel_backends.use_backend(self.kernels):
+            return self._fit(source_hypergraph, supervision_fraction)
+
+    def _fit(
+        self,
+        source_hypergraph: Hypergraph,
+        supervision_fraction: float,
+    ) -> "MARIOH":
         supervision = subsample_supervision(
             source_hypergraph, supervision_fraction, seed=self.seed
         )
@@ -253,7 +282,10 @@ class MARIOH:
         """
         if not self.is_fitted:
             raise RuntimeError("call fit() before reconstruct()")
+        with kernel_backends.use_backend(self.kernels):
+            return self._reconstruct(target_graph)
 
+    def _reconstruct(self, target_graph: WeightedGraph) -> Hypergraph:
         reconstruction = Hypergraph(nodes=target_graph.nodes)
         reference_graph = target_graph
         sample_seed = _sampling_seed(self.seed)
@@ -354,6 +386,7 @@ class MARIOH:
             )
         self.stage_times_["bidirectional"] = time.perf_counter() - started
         self.n_iterations_ = iterations
+        self.snapshot_patch_stats_ = working.snapshot_patch_stats()
         return reconstruction
 
     def fit_reconstruct(

@@ -91,6 +91,15 @@ class CliqueCandidatePool:
     def __len__(self) -> int:
         return len(self._cliques)
 
+    def sorted_members(self, clique: Clique) -> List[Node]:
+        """Sorted member list of ``clique``, reusing the pool's cached
+        sort keys for tracked cliques (the Phase-2 sampler's fast path;
+        callers must not mutate the returned list)."""
+        entry = self._sort_keys.get(clique)
+        if entry is not None:
+            return entry[1]
+        return sorted(clique)
+
     def notify_edges_removed(
         self, pairs: Iterable[Tuple[Node, Node]]
     ) -> None:

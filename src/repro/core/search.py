@@ -11,13 +11,13 @@ runs out of edges, decaying θ after every iteration.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.classifier import CliqueClassifier
 from repro.hypergraph.cliques import Clique, maximal_cliques_list
-from repro.hypergraph.graph import WeightedGraph
+from repro.hypergraph.graph import Node, WeightedGraph
 from repro.hypergraph.hypergraph import Hypergraph
 
 # SplitMix64 primitives live in repro.rng so the orchestrator and the
@@ -78,6 +78,7 @@ def sample_subcliques_stable(
     cliques: Sequence[Clique],
     graph: WeightedGraph,
     seed: int,
+    members_of: Optional[Callable[[Clique], List[Node]]] = None,
 ) -> List[Clique]:
     """Counter-based Phase 2 sampling: one k-subset per size, per clique.
 
@@ -98,26 +99,59 @@ def sample_subcliques_stable(
     previous iteration re-proposes exactly the same sub-cliques - whose
     feature rows are then served from the cache - while any touched
     clique automatically draws a fresh subset (its stamp advanced).
+
+    Because every key is a pure counter-based hash, the whole tail is
+    hashed and ranked as *one ragged batch*: cliques are grouped by
+    size and each group's ``(m, n - 2, n)`` key tensor is produced by a
+    single vectorized mix + one stable argsort, instead of ~m separate
+    small-array passes.  Subsets are then emitted in the original
+    clique order, so the output - including the deduplication order -
+    is bit-for-bit the stream the per-clique loop produced.
+
+    ``members_of`` optionally supplies each clique's sorted member list
+    (the incremental engine passes the candidate pool's cached lists,
+    :meth:`~repro.core.pool.CliqueCandidatePool.sorted_members`, saving
+    a re-sort per clique per iteration).
     """
-    sampled: List[Clique] = []
-    seen = set()
     salt_base = _mix64_int(seed & _MASK64)
-    for clique in cliques:
-        members = sorted(clique)
+    if members_of is None:
+        members_of = sorted
+    # Group the tail by clique size; each group is ranked in one shot.
+    groups: Dict[int, List[Tuple[int, List[Node]]]] = {}
+    for position, clique in enumerate(cliques):
+        members = members_of(clique)
         n = len(members)
         if n <= 2:
             continue
-        stamp = graph.clique_touch_stamp(members)
-        clique_salt = _mix64_int(salt_base ^ stamp)
-        ids = np.array(members, dtype=np.int64).astype(np.uint64)
+        groups.setdefault(n, []).append((position, members))
+    orders: Dict[int, Tuple[List[Node], np.ndarray]] = {}
+    for n, group in groups.items():
+        ids = np.array([members for _, members in group], dtype=np.int64)
+        ids = ids.astype(np.uint64)  # (m, n)
+        stamps = np.fromiter(
+            (graph.clique_touch_stamp(members) for _, members in group),
+            dtype=np.uint64,
+            count=len(group),
+        )
+        clique_salts = _mix64(np.uint64(salt_base) ^ stamps)  # (m,)
         salts = _mix64(
-            np.uint64(clique_salt) ^ np.arange(2, n, dtype=np.uint64)
-        )
-        # (n - 2, n) keys: row j ranks the members for subset size j + 2.
+            clique_salts[:, None] ^ np.arange(2, n, dtype=np.uint64)[None, :]
+        )  # (m, n - 2)
+        # (m, n - 2, n) keys: row j ranks the members for size j + 2.
         order = np.argsort(
-            _mix64(ids[None, :] ^ salts[:, None]), axis=1, kind="stable"
+            _mix64(ids[:, None, :] ^ salts[:, :, None]),
+            axis=2,
+            kind="stable",
         )
-        for j in range(n - 2):
+        for (position, members), clique_order in zip(group, order):
+            orders[position] = (members, clique_order)
+    # Emit in the original clique order so deduplication matches the
+    # sequential reference stream exactly.
+    sampled: List[Clique] = []
+    seen = set()
+    for position in sorted(orders):
+        members, order = orders[position]
+        for j in range(len(members) - 2):
             subclique = frozenset(
                 members[int(i)] for i in order[j, : j + 2]
             )
@@ -219,7 +253,10 @@ def bidirectional_search(
     if not skip_negative_phase and negative_indices:
         tail = [cliques[i] for i in negative_indices]
         if sample_seed is not None:
-            subcliques = sample_subcliques_stable(tail, graph, sample_seed)
+            members_of = pool.sorted_members if pool is not None else None
+            subcliques = sample_subcliques_stable(
+                tail, graph, sample_seed, members_of=members_of
+            )
         else:
             subcliques = sample_subcliques(tail, rng)
         if subcliques:

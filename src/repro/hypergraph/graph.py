@@ -22,9 +22,15 @@ Mutations are classified into two kinds with different cache behavior:
   plus a handful of array writes) instead of discarding it.  Structure-
   dependent caches (neighbor sets, maximality memo) survive.
 - **Structural** mutations (an edge appearing or vanishing, a new node)
-  additionally bump ``structure_version`` and invalidate every derived
-  view: the CSR :meth:`snapshot`, :meth:`neighbor_sets`, and the
-  maximality memo.
+  additionally bump ``structure_version`` and invalidate the
+  structure-dependent caches (:meth:`neighbor_sets`, the maximality
+  memo).  Edge inserts and deletes between *known* nodes still patch
+  the cached CSR snapshot in place: a delete tombstones its two slots
+  (``alive`` mask + weight 0), an insert consumes one of the row's
+  reserved slack slots (capacity is declared up front when the snapshot
+  is built, pyoptsparse-style).  Only slack exhaustion, a new node, or
+  a periodic tombstone-compaction pass fall back to a full rebuild;
+  :meth:`WeightedGraph.snapshot_patch_stats` counts each outcome.
 
 The per-node ``touch_version`` array is the invalidation key of the
 featurizers' feature-row cache (:mod:`repro.core.features`): a clique's
@@ -41,6 +47,8 @@ from itertools import combinations
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 import numpy as np
+
+from repro import kernels
 
 Node = int
 
@@ -67,24 +75,44 @@ class GraphSnapshot:
     there, which makes every batch kernel total (unknown nodes simply
     have weight 0, degree 0, and no common neighbors).
 
-    Structurally the snapshot is immutable: ``keys`` / ``indptr`` /
-    ``degrees`` never change once built.  The owning graph may however
-    patch edge *weights* in place via :meth:`_patch_weight` on
-    weight-only mutations, so the same object tracks the live graph
-    across the reconstruction loop's decrements instead of being rebuilt
-    each iteration; treat a snapshot you obtained from
-    :meth:`WeightedGraph.snapshot` as a live view, not a frozen copy.
+    Each row is built with *capacity* ``degree + slack``: ``indptr``
+    spans row capacities, the trailing slack slots carry the row's
+    sentinel key ``row * (V + 1) + V`` (phantom column - sorts after
+    every real column of the row and before the next row), and the
+    ``alive`` mask marks which slots hold live edges.  This up-front
+    structure declaration is what lets the owning graph patch
+    *structural* mutations in place:
+
+    - :meth:`_patch_weight` rewrites a live edge's weight (weight-only
+      mutations);
+    - :meth:`_patch_delete` tombstones an edge's two slots (``alive``
+      False, weight 0, key kept so binary searches still resolve the
+      slot - and so a later re-insert can resurrect it);
+    - :meth:`_patch_insert` resurrects a tombstone or shifts the row's
+      tail right into one reserved slack slot.
+
+    ``keys`` therefore stays sorted (non-strictly: slack sentinels of a
+    row share one key) at all times, and every binary-search consumer
+    masks hits through ``alive``.  Aggregates (``degrees``,
+    ``weighted_degrees``, ``n_live``, ``n_tombstones``) track the live
+    edges only.  Treat a snapshot you obtained from
+    :meth:`WeightedGraph.snapshot` as a live view, not a frozen copy;
+    :meth:`compacted_arrays` exports a dense tombstone/slack-free copy.
     """
 
     node_ids: np.ndarray  #: (V,) sorted node identifiers
     index: Dict[Node, int]  #: node id -> row index
-    indptr: np.ndarray  #: (V + 2,) row pointers incl. the phantom row
-    nbr: np.ndarray  #: (2E,) column indices, row-major / col-sorted
-    wts: np.ndarray  #: (2E,) float64 edge weights aligned with ``nbr``
-    keys: np.ndarray  #: (2E,) int64 ``row * (V + 1) + col``, ascending
-    degrees: np.ndarray  #: (V + 1,) unweighted degree per row
-    weighted_degrees: np.ndarray  #: (V + 1,) float64 weighted degree
+    indptr: np.ndarray  #: (V + 2,) row *capacity* pointers incl. phantom row
+    nbr: np.ndarray  #: (S,) column indices, row-major / col-sorted
+    wts: np.ndarray  #: (S,) float64 edge weights aligned with ``nbr``
+    keys: np.ndarray  #: (S,) int64 ``row * (V + 1) + col``, ascending
+    degrees: np.ndarray  #: (V + 1,) live unweighted degree per row
+    weighted_degrees: np.ndarray  #: (V + 1,) float64 live weighted degree
     version: int  #: graph version this snapshot reflects
+    alive: np.ndarray  #: (S,) bool mask of live slots
+    row_free: np.ndarray  #: (V + 1,) unused slack slots per row
+    n_live: int  #: number of live directed slots (= 2E)
+    n_tombstones: int  #: number of tombstoned slots
 
     @property
     def num_nodes(self) -> int:
@@ -102,6 +130,22 @@ class GraphSnapshot:
             (index.get(u, phantom) for u in nodes), dtype=np.int64
         )
 
+    def index_of_array(self, ids: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`index_of`: one binary search over ``node_ids``.
+
+        Unknown ids map to the phantom row, like ``index_of``.  This is
+        the batch featurizer's translation step, so a ragged batch of
+        clique members resolves to row indices in a single pass instead
+        of one dict probe per member.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        phantom = len(self.node_ids)
+        if phantom == 0 or len(ids) == 0:
+            return np.full(len(ids), phantom, dtype=np.int64)
+        pos = np.searchsorted(self.node_ids, ids)
+        pos = np.minimum(pos, phantom - 1)
+        return np.where(self.node_ids[pos] == ids, pos, phantom)
+
     def _patch_weight(self, iu: int, iv: int, weight: float, version: int) -> bool:
         """Rewrite the weight of the existing edge ``(iu, iv)`` in place.
 
@@ -113,13 +157,9 @@ class GraphSnapshot:
         snapshot untouched - when either slot cannot be found, in which
         case the caller must fall back to a full rebuild.
         """
-        base = self.key_base
-        positions = []
-        for key in (iu * base + iv, iv * base + iu):
-            pos = int(np.searchsorted(self.keys, key))
-            if pos >= len(self.keys) or self.keys[pos] != key:
-                return False
-            positions.append(pos)
+        positions = self._live_slot_pair(iu, iv)
+        if positions is None:
+            return False
         delta = float(weight) - self.wts[positions[0]]
         self.wts[positions[0]] = weight
         self.wts[positions[1]] = weight
@@ -127,6 +167,159 @@ class GraphSnapshot:
         self.weighted_degrees[iv] += delta
         object.__setattr__(self, "version", version)
         return True
+
+    def _live_slot_pair(self, iu: int, iv: int) -> Optional[Tuple[int, int]]:
+        """Slot positions of the live edge ``(iu, iv)`` in both directions."""
+        base = self.key_base
+        keys = self.keys
+        alive = self.alive
+        n = len(keys)
+        key = iu * base + iv
+        p1 = keys.searchsorted(key)
+        if p1 >= n or keys[p1] != key or not alive[p1]:
+            return None
+        key = iv * base + iu
+        p2 = keys.searchsorted(key)
+        if p2 >= n or keys[p2] != key or not alive[p2]:
+            return None
+        return int(p1), int(p2)
+
+    def _patch_weights_batch(
+        self, pending: List[Tuple[int, int, float]], version: int
+    ) -> bool:
+        """Apply many weight-only patches in one vectorized pass.
+
+        ``pending`` holds ``(iu, iv, weight)`` triples for *distinct*
+        pairs (a clique conversion decrements each internal edge once).
+        Equivalent to ``_patch_weight`` per triple - the weight deltas
+        are integer-valued, so the grouped weighted-degree sums are
+        exact regardless of application order - but pays two binary
+        searches per batch instead of two per edge.  Returns False (and
+        leaves the snapshot untouched) when any slot is missing or
+        dead; the caller rebuilds.
+        """
+        n = len(self.keys)
+        if n == 0:
+            return False
+        triples = np.asarray(pending, dtype=np.int64)
+        iu = triples[:, 0]
+        iv = triples[:, 1]
+        weights = triples[:, 2].astype(np.float64)
+        search = np.concatenate([iu * self.key_base + iv,
+                                 iv * self.key_base + iu])
+        pos = np.minimum(np.searchsorted(self.keys, search), n - 1)
+        ok = (self.keys[pos] == search) & self.alive[pos]
+        if not ok.all():
+            return False
+        m = len(iu)
+        delta = weights - self.wts[pos[:m]]
+        self.wts[pos[:m]] = weights
+        self.wts[pos[m:]] = weights
+        np.add.at(self.weighted_degrees, iu, delta)
+        np.add.at(self.weighted_degrees, iv, delta)
+        object.__setattr__(self, "version", version)
+        return True
+
+    def _patch_delete(self, iu: int, iv: int, version: int) -> bool:
+        """Tombstone the live edge ``(iu, iv)`` in place.
+
+        The two slots keep their keys (binary searches still land on
+        them; a later insert resurrects them) but drop out of the
+        ``alive`` mask with weight 0, so every kernel reads the edge as
+        absent.  Returns False - snapshot untouched - when either slot
+        is missing, in which case the caller rebuilds.
+        """
+        positions = self._live_slot_pair(iu, iv)
+        if positions is None:
+            return False
+        weight = float(self.wts[positions[0]])
+        for pos in positions:
+            self.alive[pos] = False
+            self.wts[pos] = 0.0
+        self.degrees[iu] -= 1
+        self.degrees[iv] -= 1
+        self.weighted_degrees[iu] -= weight
+        self.weighted_degrees[iv] -= weight
+        object.__setattr__(self, "n_live", self.n_live - 2)
+        object.__setattr__(self, "n_tombstones", self.n_tombstones + 2)
+        object.__setattr__(self, "version", version)
+        return True
+
+    def _patch_insert(
+        self, iu: int, iv: int, weight: float, version: int
+    ) -> bool:
+        """Materialize the new edge ``(iu, iv)`` in place.
+
+        Each direction either resurrects its tombstoned slot (the edge
+        existed before) or claims one of the row's reserved slack slots
+        by shifting the row tail right one position (keys stay sorted).
+        Returns False - snapshot untouched - when either direction has
+        neither a tombstone nor free slack, in which case the caller
+        rebuilds with fresh slack.
+        """
+        base = self.key_base
+        plans = []
+        for row, col in ((iu, iv), (iv, iu)):
+            key = row * base + col
+            pos = int(np.searchsorted(self.keys, key))
+            if pos < len(self.keys) and self.keys[pos] == key:
+                if self.alive[pos]:
+                    return False  # edge already live: not an insert
+                plans.append((True, pos, row, col))
+            elif self.row_free[row] > 0:
+                plans.append((False, pos, row, col))
+            else:
+                return False  # slack exhausted for this row
+        resurrected = 0
+        for is_resurrect, pos, row, col in plans:
+            if is_resurrect:
+                self.alive[pos] = True
+                self.wts[pos] = weight
+                resurrected += 1
+            else:
+                # Shift the used tail of the row right by one slot; the
+                # vacated sentinel at ``used_end`` absorbs the shift.
+                # (The two rows are distinct, so the second plan's
+                # position is unaffected by the first shift.)
+                used_end = int(self.indptr[row + 1] - self.row_free[row])
+                self.keys[pos + 1 : used_end + 1] = self.keys[pos:used_end]
+                self.nbr[pos + 1 : used_end + 1] = self.nbr[pos:used_end]
+                self.wts[pos + 1 : used_end + 1] = self.wts[pos:used_end]
+                self.alive[pos + 1 : used_end + 1] = self.alive[pos:used_end]
+                self.keys[pos] = row * base + col
+                self.nbr[pos] = col
+                self.wts[pos] = weight
+                self.alive[pos] = True
+                self.row_free[row] -= 1
+            self.degrees[row] += 1
+            self.weighted_degrees[row] += weight
+        object.__setattr__(self, "n_live", self.n_live + 2)
+        object.__setattr__(
+            self, "n_tombstones", self.n_tombstones - resurrected
+        )
+        object.__setattr__(self, "version", version)
+        return True
+
+    def compacted_arrays(self) -> Dict[str, np.ndarray]:
+        """Dense copies of the CSR arrays with tombstones/slack dropped.
+
+        Two snapshots of the same logical graph - however they diverged
+        in slack layout or tombstone history - compare equal on these
+        arrays; the structural-patching fuzz tests pin patched-vs-rebuilt
+        equivalence through this view.
+        """
+        mask = self.alive
+        indptr = np.zeros(len(self.indptr), dtype=np.int64)
+        np.cumsum(self.degrees, out=indptr[1:])
+        return {
+            "node_ids": self.node_ids.copy(),
+            "indptr": indptr,
+            "keys": self.keys[mask],
+            "nbr": self.nbr[mask],
+            "wts": self.wts[mask],
+            "degrees": self.degrees.copy(),
+            "weighted_degrees": self.weighted_degrees.copy(),
+        }
 
     def _lookup_weights(self, search: np.ndarray) -> np.ndarray:
         """Weights for encoded edge keys; 0 where the edge is absent."""
@@ -148,16 +341,16 @@ class GraphSnapshot:
     def expand_rows(
         self, rows: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Concatenated neighbor-slot positions for a batch of rows.
+        """Concatenated live neighbor-slot positions for a batch of rows.
 
-        For ``rows[i]`` with degree ``d_i``, the result enumerates the
-        ``sum(d_i)`` positions of their CSR entries: ``flat`` indexes
-        into ``nbr``/``wts``, and ``owner`` maps each position back to
-        ``i``.  This is the shared expansion step of every batch kernel
-        that walks neighbor lists.
+        For ``rows[i]``, the result enumerates the positions of its
+        *live* CSR entries (tombstones and slack slots are masked out):
+        ``flat`` indexes into ``nbr``/``wts``, and ``owner`` maps each
+        position back to ``i``.  This is the shared expansion step of
+        every batch kernel that walks neighbor lists.
         """
         rows = np.asarray(rows, dtype=np.int64)
-        counts = self.degrees[rows]
+        counts = self.indptr[rows + 1] - self.indptr[rows]
         total = int(counts.sum())
         if total == 0:
             empty = np.zeros(0, dtype=np.int64)
@@ -169,54 +362,48 @@ class GraphSnapshot:
             starts, counts
         )
         owner = np.repeat(np.arange(len(rows), dtype=np.int64), counts)
-        return flat, owner
+        keep = self.alive[flat]
+        return flat[keep], owner[keep]
 
-    def _intersect(
-        self, a: np.ndarray, b: np.ndarray
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Common-neighbor expansion for row-index pairs.
-
-        Walks the sparser endpoint's (sorted) neighbor row and binary-
-        searches the other endpoint's row via ``keys``.  Returns, for
-        every matched common neighbor, the owning pair's position and
-        the two incident edge weights.
-        """
-        a = np.asarray(a, dtype=np.int64)
-        b = np.asarray(b, dtype=np.int64)
-        empty = np.zeros(0, dtype=np.float64)
-        if len(a) == 0 or len(self.keys) == 0:
-            return np.zeros(0, dtype=np.int64), empty, empty
-        deg = self.degrees
-        swap = deg[a] > deg[b]
-        probe = np.where(swap, b, a)
-        other = np.where(swap, a, b)
-        flat, pair_of = self.expand_rows(probe)
-        if len(flat) == 0:
-            return np.zeros(0, dtype=np.int64), empty, empty
-        z = self.nbr[flat]
-        w_probe = self.wts[flat]
-        search = other[pair_of] * self.key_base + z
-        pos = np.searchsorted(self.keys, search)
-        pos = np.minimum(pos, len(self.keys) - 1)
-        found = self.keys[pos] == search
-        return pair_of[found], w_probe[found], self.wts[pos[found]]
+    def _kernel_args(self, a: np.ndarray, b: np.ndarray) -> tuple:
+        return (
+            self.keys,
+            self.nbr,
+            self.wts,
+            self.alive,
+            self.indptr,
+            self.degrees,
+            a,
+            b,
+            self.key_base,
+        )
 
     def batch_mhh(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Eq. (1) for every row-index pair: sorted-neighbor intersection
-        with ``np.minimum`` sums, one vectorized pass for the batch."""
-        pair_of, w1, w2 = self._intersect(a, b)
-        counts = np.bincount(
-            pair_of, weights=np.minimum(w1, w2), minlength=len(np.atleast_1d(a))
-        )
-        # bincount returns int64 for empty inputs even with float weights
-        return counts.astype(np.float64, copy=False)
+        with ``min`` sums, one pass for the batch.
+
+        Dispatches to the active kernel backend
+        (:func:`repro.kernels.active_backend`); the numpy backend is the
+        pinned reference, the numba backend matches its accumulation
+        order.
+        """
+        a = np.atleast_1d(np.asarray(a, dtype=np.int64))
+        b = np.atleast_1d(np.asarray(b, dtype=np.int64))
+        if len(a) == 0 or len(self.keys) == 0:
+            return np.zeros(len(a), dtype=np.float64)
+        return kernels.active_backend().batch_mhh(*self._kernel_args(a, b))
 
     def batch_common_neighbor_counts(
         self, a: np.ndarray, b: np.ndarray
     ) -> np.ndarray:
         """``|N(a[i]) ∩ N(b[i])|`` for every row-index pair."""
-        pair_of, _, _ = self._intersect(a, b)
-        return np.bincount(pair_of, minlength=len(np.atleast_1d(a)))
+        a = np.atleast_1d(np.asarray(a, dtype=np.int64))
+        b = np.atleast_1d(np.asarray(b, dtype=np.int64))
+        if len(a) == 0 or len(self.keys) == 0:
+            return np.zeros(len(a), dtype=np.int64)
+        return kernels.active_backend().batch_common_neighbor_counts(
+            *self._kernel_args(a, b)
+        )
 
 
 class WeightedGraph:
@@ -237,6 +424,19 @@ class WeightedGraph:
         featurizers' feature-row cache.
     """
 
+    #: Per-row slack reserved when a snapshot is built: each row gets
+    #: ``max(snapshot_slack_min, ceil(snapshot_slack_fraction * degree))``
+    #: spare slots for future in-place inserts.  Class-level defaults;
+    #: assign on an instance to tune (tests shrink them to force the
+    #: slack-exhaustion fallback).
+    snapshot_slack_min = 2
+    snapshot_slack_fraction = 0.125
+    #: Compaction trigger: after a structural patch, the snapshot is
+    #: dropped (rebuilt lazily with fresh slack) once tombstones exceed
+    #: both this absolute count and this fraction of all used slots.
+    snapshot_tombstone_min = 64
+    snapshot_tombstone_fraction = 0.5
+
     def __init__(self, nodes: Optional[Iterable[Node]] = None) -> None:
         self._adj: Dict[Node, Dict[Node, int]] = {}
         self._weighted_degree: Dict[Node, int] = {}
@@ -250,6 +450,20 @@ class WeightedGraph:
         self._neighbor_sets_cache: Optional[Dict[Node, Set[Node]]] = None
         self._maximality_memo: Optional[Dict[Tuple[Node, ...], float]] = None
         self._clique_rows_cache: Optional[Dict] = None
+        self._patch_stats: Dict[str, int] = {
+            "weight_hits": 0,
+            "weight_misses": 0,
+            "structural_hits": 0,
+            "structural_misses": 0,
+            "compactions": 0,
+        }
+        # Weight-only snapshot patches are queued here (keyed by the
+        # normalized snapshot index pair, last write wins) and applied
+        # lazily - in one batch - when the snapshot is next read or a
+        # structural patch needs the weight slots current.  Entries are
+        # only meaningful for the currently cached snapshot; every site
+        # that drops ``_snapshot_cache`` clears the queue.
+        self._pending_weight_patches: Dict[Tuple[int, int], int] = {}
         if nodes is not None:
             for node in nodes:
                 self.add_node(node)
@@ -268,8 +482,77 @@ class WeightedGraph:
         for node in touched:
             self._touch_version[node] = self._version
         self._snapshot_cache = None
+        self._pending_weight_patches.clear()
         self._neighbor_sets_cache = None
         self._maximality_memo = None
+
+    def _bump_edge(self, u: Node, v: Node, weight: int, appeared: bool) -> None:
+        """Record a structural *edge* mutation (appear / vanish).
+
+        Like :meth:`_bump`, but instead of discarding the cached CSR
+        snapshot it patches it in place: a vanished edge is tombstoned
+        (:meth:`GraphSnapshot._patch_delete`), an appearing edge between
+        known nodes resurrects its tombstone or claims reserved slack
+        (:meth:`GraphSnapshot._patch_insert`).  The snapshot is only
+        dropped when the patch fails (slack exhausted, unknown node) or
+        when the tombstone-compaction threshold trips - both counted in
+        :meth:`snapshot_patch_stats` as misses so the reported hit rate
+        reflects actual rebuild work.  Structure-dependent caches
+        (neighbor sets, maximality memo) are always invalidated.
+        """
+        self._version += 1
+        self._structure_version += 1
+        self._touch_version[u] = self._version
+        self._touch_version[v] = self._version
+        self._neighbor_sets_cache = None
+        self._maximality_memo = None
+        snapshot = self._snapshot_cache
+        if snapshot is None:
+            return
+        iu = snapshot.index.get(u)
+        iv = snapshot.index.get(v)
+        patched = False
+        if iu is not None and iv is not None:
+            pending = self._pending_weight_patches
+            if pending:
+                # Structural patches read and rewrite *this pair's*
+                # weight slots, so its queued weight patch (if any) must
+                # land first.  Other pairs' entries are keyed by index
+                # pair - not slot position - so they survive the slot
+                # shifts an insert may cause and stay queued.
+                queued = pending.pop((iu, iv) if iu < iv else (iv, iu), None)
+                if queued is not None and not snapshot._patch_weight(
+                    iu, iv, queued, self._version
+                ):
+                    self._patch_stats["weight_misses"] += 1
+                    self._patch_stats["structural_misses"] += 1
+                    self._snapshot_cache = None
+                    pending.clear()
+                    return
+            if appeared:
+                patched = snapshot._patch_insert(iu, iv, weight, self._version)
+            else:
+                patched = snapshot._patch_delete(iu, iv, self._version)
+        stats = self._patch_stats
+        if not patched:
+            stats["structural_misses"] += 1
+            self._snapshot_cache = None
+            self._pending_weight_patches.clear()
+        elif self._should_compact(snapshot):
+            stats["compactions"] += 1
+            stats["structural_misses"] += 1
+            self._snapshot_cache = None
+            self._pending_weight_patches.clear()
+        else:
+            stats["structural_hits"] += 1
+
+    def _should_compact(self, snapshot: GraphSnapshot) -> bool:
+        tombstones = snapshot.n_tombstones
+        used = tombstones + snapshot.n_live
+        return (
+            tombstones > self.snapshot_tombstone_min
+            and tombstones > self.snapshot_tombstone_fraction * used
+        )
 
     def _patch(self, u: Node, v: Node, weight: int) -> None:
         """Record a *weight-only* mutation of the existing edge ``{u, v}``.
@@ -284,15 +567,21 @@ class WeightedGraph:
         self._touch_version[u] = self._version
         self._touch_version[v] = self._version
         snapshot = self._snapshot_cache
-        if snapshot is not None:
-            iu = snapshot.index.get(u)
-            iv = snapshot.index.get(v)
-            if (
-                iu is None
-                or iv is None
-                or not snapshot._patch_weight(iu, iv, weight, self._version)
-            ):
-                self._snapshot_cache = None
+        if snapshot is None:
+            return
+        iu = snapshot.index.get(u)
+        iv = snapshot.index.get(v)
+        if iu is None or iv is None:
+            self._patch_stats["weight_misses"] += 1
+            self._snapshot_cache = None
+            self._pending_weight_patches.clear()
+            return
+        # Queue for the next lazy flush (snapshot read or structural
+        # patch).  Last write per pair wins; the normalized key makes
+        # (u, v) and (v, u) patches collapse onto one entry.
+        if iu > iv:
+            iu, iv = iv, iu
+        self._pending_weight_patches[(iu, iv)] = weight
 
     def add_node(self, node: Node) -> None:
         """Insert an isolated node (no-op if already present)."""
@@ -321,7 +610,7 @@ class WeightedGraph:
         self._weighted_degree[u] += weight
         self._weighted_degree[v] += weight
         if structural:
-            self._bump(u, v)
+            self._bump_edge(u, v, current + weight, appeared=True)
         else:
             self._patch(u, v, current + weight)
 
@@ -345,7 +634,7 @@ class WeightedGraph:
         self._weighted_degree[u] += delta
         self._weighted_degree[v] += delta
         if structural:
-            self._bump(u, v)
+            self._bump_edge(u, v, weight, appeared=True)
         else:
             self._patch(u, v, weight)
 
@@ -371,7 +660,7 @@ class WeightedGraph:
             del self._adj[u][v]
             del self._adj[v][u]
             self._num_edges -= 1
-            self._bump(u, v)
+            self._bump_edge(u, v, 0, appeared=False)
         else:
             self._adj[u][v] = remaining
             self._adj[v][u] = remaining
@@ -400,6 +689,45 @@ class WeightedGraph:
                 vanished.append((u, v))
         return vanished
 
+    def _flush_weight_patches(self) -> None:
+        """Apply every queued weight-only patch to the cached snapshot.
+
+        Queued entries accumulate across mutations (deduplicated per
+        pair, last write wins) and land here in one pass - scalar for a
+        handful, vectorized beyond that - right before the snapshot is
+        read or structurally patched.  On failure (a slot missing or
+        dead, which means the queue went stale) the snapshot is dropped
+        and the next :meth:`snapshot` call rebuilds from the live dicts.
+        """
+        pending = self._pending_weight_patches
+        snapshot = self._snapshot_cache
+        if snapshot is None:
+            pending.clear()
+            return
+        count = len(pending)
+        if count == 0:
+            return
+        version = self._version
+        if count <= 16:
+            # Small queues: the scalar patch per pair beats the fixed
+            # overhead of assembling numpy arrays.
+            for (iu, iv), weight in pending.items():
+                if not snapshot._patch_weight(iu, iv, weight, version):
+                    self._patch_stats["weight_misses"] += count
+                    self._snapshot_cache = None
+                    pending.clear()
+                    return
+            self._patch_stats["weight_hits"] += count
+            pending.clear()
+            return
+        triples = [(iu, iv, w) for (iu, iv), w in pending.items()]
+        if snapshot._patch_weights_batch(triples, version):
+            self._patch_stats["weight_hits"] += count
+        else:
+            self._patch_stats["weight_misses"] += count
+            self._snapshot_cache = None
+        pending.clear()
+
     def remove_edge(self, u: Node, v: Node) -> None:
         """Delete edge ``{u, v}`` entirely (no-op when absent)."""
         current = self._adj.get(u, {}).get(v)
@@ -411,7 +739,7 @@ class WeightedGraph:
         self._total_weight -= current
         self._weighted_degree[u] -= current
         self._weighted_degree[v] -= current
-        self._bump(u, v)
+        self._bump_edge(u, v, 0, appeared=False)
 
     # ------------------------------------------------------------------
     # Inspection
@@ -559,9 +887,30 @@ class WeightedGraph:
 
     def snapshot(self) -> GraphSnapshot:
         """CSR-style export for numpy batch kernels, cached until mutation."""
+        if self._pending_weight_patches:
+            self._flush_weight_patches()
         if self._snapshot_cache is None:
             self._snapshot_cache = self._build_snapshot()
         return self._snapshot_cache
+
+    def snapshot_patch_stats(self) -> Dict[str, int]:
+        """Counters of in-place snapshot patch outcomes (copy).
+
+        ``weight_hits`` / ``weight_misses`` count weight-only mutations
+        that patched / failed to patch a cached snapshot;
+        ``structural_hits`` / ``structural_misses`` the same for edge
+        inserts and deletes (a miss is a forced rebuild: slack
+        exhaustion, an unknown node, or a tripped compaction threshold);
+        ``compactions`` counts tombstone-compaction rebuilds
+        specifically (each also counted as a structural miss, so hit
+        rates derived as ``hits / (hits + misses)`` reflect every
+        rebuild actually paid).  Weight patches are queued and
+        deduplicated per edge before they land, so ``weight_hits``
+        counts *applied* patches: repeated updates of one pair between
+        snapshot reads collapse into a single hit.  Mutations with no
+        cached snapshot to patch are not counted.
+        """
+        return dict(self._patch_stats)
 
     def check_snapshot_coherence(self) -> Optional[str]:
         """Audit the cached snapshot against the live graph state.
@@ -575,6 +924,8 @@ class WeightedGraph:
         coherent.  Cheap (counter comparisons only) - safe to call once
         per reconstruction iteration.
         """
+        if self._pending_weight_patches:
+            self._flush_weight_patches()
         snapshot = self._snapshot_cache
         if snapshot is None:
             return None
@@ -588,6 +939,18 @@ class WeightedGraph:
                 f"cached snapshot holds {snapshot.num_nodes} nodes but "
                 f"graph has {len(self._adj)}"
             )
+        if snapshot.n_live != 2 * self._num_edges:
+            return (
+                f"cached snapshot holds {snapshot.n_live} live slots but "
+                f"graph has {self._num_edges} edges "
+                f"(expected {2 * self._num_edges})"
+            )
+        if snapshot.n_tombstones < 0 or snapshot.n_live < 0:
+            return (
+                "cached snapshot slot accounting went negative "
+                f"(n_live={snapshot.n_live}, "
+                f"n_tombstones={snapshot.n_tombstones})"
+            )
         return None
 
     def _build_snapshot(self) -> GraphSnapshot:
@@ -595,6 +958,7 @@ class WeightedGraph:
         n = len(node_ids)
         index = {u: i for i, u in enumerate(node_ids)}
         base = n + 1
+        n_dir = 2 * self._num_edges
         keys = np.fromiter(
             (
                 index[u] * base + index[v]
@@ -602,19 +966,18 @@ class WeightedGraph:
                 for v in nbrs
             ),
             dtype=np.int64,
-            count=2 * self._num_edges,
+            count=n_dir,
         )
         wts = np.fromiter(
             (w for nbrs in self._adj.values() for w in nbrs.values()),
             dtype=np.float64,
-            count=2 * self._num_edges,
+            count=n_dir,
         )
         # One global sort yields row-major order with columns sorted
         # within each row (keys are unique).
         order = np.argsort(keys)
         keys = keys[order]
         wts = wts[order]
-        nbr = keys % base
         degrees = np.zeros(n + 1, dtype=np.int64)
         degrees[:n] = np.fromiter(
             (len(self._adj[u]) for u in node_ids), dtype=np.int64, count=n
@@ -625,18 +988,52 @@ class WeightedGraph:
             dtype=np.float64,
             count=n,
         )
+        # Declare row capacities up front: live degree plus reserved
+        # slack, so later structural inserts patch in place instead of
+        # rebuilding.  Slack slots carry the row's sentinel key
+        # ``row * base + n`` (phantom column), keeping ``keys`` sorted.
+        slack = np.zeros(n + 1, dtype=np.int64)
+        if n:
+            slack[:n] = np.maximum(
+                int(self.snapshot_slack_min),
+                np.ceil(
+                    float(self.snapshot_slack_fraction) * degrees[:n]
+                ).astype(np.int64),
+            )
+        capacity = degrees + slack
         indptr = np.zeros(n + 2, dtype=np.int64)
-        np.cumsum(degrees, out=indptr[1:])
+        np.cumsum(capacity, out=indptr[1:])
+        total = int(indptr[n + 1])
+        full_keys = np.repeat(
+            np.arange(n + 1, dtype=np.int64) * base + n, capacity
+        )
+        full_nbr = np.full(total, n, dtype=np.int64)
+        full_wts = np.zeros(total, dtype=np.float64)
+        alive = np.zeros(total, dtype=bool)
+        if n_dir:
+            live_counts = degrees[:n]
+            within = np.arange(n_dir, dtype=np.int64) - np.repeat(
+                np.cumsum(live_counts) - live_counts, live_counts
+            )
+            dest = np.repeat(indptr[:n], live_counts) + within
+            full_keys[dest] = keys
+            full_nbr[dest] = keys % base
+            full_wts[dest] = wts
+            alive[dest] = True
         return GraphSnapshot(
             node_ids=np.asarray(node_ids, dtype=np.int64),
             index=index,
             indptr=indptr,
-            nbr=nbr,
-            wts=wts,
-            keys=keys,
+            nbr=full_nbr,
+            wts=full_wts,
+            keys=full_keys,
             degrees=degrees,
             weighted_degrees=weighted,
             version=self._version,
+            alive=alive,
+            row_free=slack,
+            n_live=n_dir,
+            n_tombstones=0,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,165 @@
+"""Pluggable compute backends for the three hottest array kernels.
+
+The reconstruction hot loop spends most of its array time in three
+operations: the batched MHH intersection sum (Eq. (1) over sorted CSR
+neighbor rows), the batched common-neighbor count (same intersection,
+unweighted), and the MLP's fused Adam update over the flat parameter
+buffer.  This package lifts those behind a backend registry:
+
+- ``numpy`` (default) - the pinned reference implementations, moved
+  verbatim from ``graph.py`` / ``mlp.py`` so the numerical behavior
+  (including float accumulation order) is unchanged and reconstructions
+  stay byte-identical to earlier releases at fixed seeds.
+- ``numba`` - ``@njit``-compiled scalar loops with the same
+  accumulation order, selected only on request.  Numba is an *optional*
+  dependency: when it is not importable the backend reports itself
+  unavailable, an explicit request raises
+  :class:`KernelBackendUnavailable`, and an environment-variable
+  request falls back to numpy with a visible one-time warning (so CI
+  jobs on platforms without numba wheels degrade instead of erroring).
+
+Selection, in decreasing precedence:
+
+1. an active :func:`use_backend` context (what ``MARIOH(kernels=...)``
+   uses for the duration of ``fit``/``reconstruct``),
+2. the ``REPRO_KERNELS`` environment variable (``numpy`` or ``numba``),
+3. the numpy default.
+
+Backends are plain modules exposing ``batch_mhh``,
+``batch_common_neighbor_counts`` and ``adam_step`` with identical
+signatures over raw arrays; :class:`~repro.hypergraph.graph.GraphSnapshot`
+and :class:`repro.ml.mlp._AdamState` dispatch through
+:func:`active_backend` on every call, so a context switch mid-process
+takes effect immediately.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+from repro.kernels import numpy_backend
+
+ENV_VAR = "REPRO_KERNELS"
+
+#: recognized backend names, in documentation order
+BACKEND_NAMES = ("numpy", "numba")
+
+DEFAULT_BACKEND = "numpy"
+
+
+class KernelBackendUnavailable(RuntimeError):
+    """An explicitly requested kernel backend cannot be imported."""
+
+
+# Stack of explicit overrides pushed by :func:`use_backend`; the top of
+# the stack wins over the environment variable.
+_override_stack: List[str] = []
+
+_numba_module = None
+_numba_checked = False
+_env_fallback_warned = False
+
+
+def numba_available() -> bool:
+    """True when the numba backend can be imported (numba is installed)."""
+    global _numba_module, _numba_checked
+    if not _numba_checked:
+        _numba_checked = True
+        try:
+            from repro.kernels import numba_backend as module
+        except ImportError:
+            _numba_module = None
+        else:
+            _numba_module = module
+    return _numba_module is not None
+
+
+def available_backends() -> List[str]:
+    """Names of the backends importable in this environment."""
+    names = ["numpy"]
+    if numba_available():
+        names.append("numba")
+    return names
+
+
+def _validate(name: str) -> str:
+    if name not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; expected one of {BACKEND_NAMES}"
+        )
+    return name
+
+
+def resolve_backend(name: str):
+    """The backend module for ``name``; raises if explicitly unavailable."""
+    _validate(name)
+    if name == "numpy":
+        return numpy_backend
+    if not numba_available():
+        raise KernelBackendUnavailable(
+            "kernel backend 'numba' was requested but numba is not "
+            "importable in this environment; install numba or use the "
+            "default numpy backend"
+        )
+    return _numba_module
+
+
+def active_backend_name() -> str:
+    """Name of the backend the next kernel call will dispatch to."""
+    global _env_fallback_warned
+    if _override_stack:
+        return _override_stack[-1]
+    requested = os.environ.get(ENV_VAR, "").strip().lower()
+    if not requested:
+        return DEFAULT_BACKEND
+    if requested not in BACKEND_NAMES:
+        if not _env_fallback_warned:
+            _env_fallback_warned = True
+            warnings.warn(
+                f"{ENV_VAR}={requested!r} is not a known kernel backend "
+                f"{BACKEND_NAMES}; falling back to numpy",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return DEFAULT_BACKEND
+    if requested == "numba" and not numba_available():
+        # Environment requests degrade gracefully (CI platforms without
+        # numba wheels must not error); explicit use_backend() raises.
+        if not _env_fallback_warned:
+            _env_fallback_warned = True
+            warnings.warn(
+                f"{ENV_VAR}=numba requested but numba is not importable; "
+                "falling back to the numpy kernel backend",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return DEFAULT_BACKEND
+    return requested
+
+
+def active_backend():
+    """The backend module the next kernel call will dispatch to."""
+    return resolve_backend(active_backend_name())
+
+
+@contextmanager
+def use_backend(name: Optional[str]) -> Iterator[None]:
+    """Force kernel backend ``name`` inside the context.
+
+    ``None`` is a no-op context (convenient for optional kwargs).  An
+    explicit ``"numba"`` raises :class:`KernelBackendUnavailable` on
+    entry when numba is missing, rather than silently computing on
+    numpy.
+    """
+    if name is None:
+        yield
+        return
+    resolve_backend(_validate(name))  # fail fast on entry
+    _override_stack.append(name)
+    try:
+        yield
+    finally:
+        _override_stack.pop()

@@ -12,6 +12,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import kernels
 from repro.rng import counter_permutation, mix_tokens
 
 
@@ -38,10 +39,13 @@ class _AdamState:
     """Adam moment buffers over one flat parameter vector.
 
     All parameters live in a single contiguous float64 buffer (the MLP
-    layers are views into it), so one step is a handful of vectorized
-    array operations instead of per-parameter loops.  Every expression
-    performs the same elementwise float operations (and roundings) as
-    the textbook per-parameter form, so training stays bit-identical.
+    layers are views into it), so one step is a single fused update over
+    the whole buffer instead of per-parameter loops.  The update is
+    dispatched through :func:`repro.kernels.active_backend`; the numpy
+    reference performs the same elementwise float operations (and
+    roundings) as the textbook per-parameter form, so training stays
+    bit-identical, and the numba backend matches the reference's
+    operation order.
     """
 
     def __init__(self, n_params: int) -> None:
@@ -59,14 +63,9 @@ class _AdamState:
         eps: float = 1e-8,
     ) -> None:
         self.t += 1
-        correction1 = 1.0 - beta1**self.t
-        correction2 = 1.0 - beta2**self.t
-        m, v = self.m, self.v
-        m *= beta1
-        m += (1.0 - beta1) * grads
-        v *= beta2
-        v += (1.0 - beta2) * grads * grads
-        params -= lr * (m / correction1) / (np.sqrt(v / correction2) + eps)
+        kernels.active_backend().adam_step(
+            params, grads, self.m, self.v, self.t, lr, beta1, beta2, eps
+        )
 
 
 class MLPClassifier:

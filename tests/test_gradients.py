@@ -10,9 +10,15 @@ checks slow); a descent check still catches sign and scaling errors.
 import numpy as np
 import pytest
 
+from repro import kernels
 from repro.ml.gcn import GCNLinkEmbedder
 from repro.ml.mlp import MLPClassifier, _AdamState, _sigmoid
 from tests.conftest import two_clique_graph
+
+requires_numba = pytest.mark.skipif(
+    not kernels.numba_available(),
+    reason="numba is not importable in this environment",
+)
 
 
 def _loss_of(model, x, y):
@@ -99,6 +105,54 @@ class TestMLPGradients:
         np.testing.assert_allclose(
             grad_with - grad_without, 0.1 * weights, rtol=1e-9, atol=1e-12
         )
+
+
+class TestAdamBackendParity:
+    """The optimizer dispatches through the kernel registry; every
+    backend must produce the same trajectory to 1e-9."""
+
+    def _run_adam(self, backend, n=32, steps=6):
+        rng = np.random.default_rng(0)
+        params = rng.normal(size=n)
+        state = _AdamState(n)
+        with kernels.use_backend(backend):
+            for _ in range(steps):
+                grads = rng.normal(size=n)
+                state.step(params, grads, lr=1e-3)
+        return params
+
+    def test_default_dispatch_matches_explicit_numpy(self):
+        np.testing.assert_array_equal(
+            self._run_adam(None), self._run_adam("numpy")
+        )
+
+    @requires_numba
+    def test_numba_adam_matches_numpy_to_1e9(self):
+        np.testing.assert_allclose(
+            self._run_adam("numba"),
+            self._run_adam("numpy"),
+            rtol=0,
+            atol=1e-9,
+        )
+
+    @requires_numba
+    def test_mlp_training_identical_across_backends(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(40, 4))
+        y = rng.integers(0, 2, size=40)
+
+        def fit(backend):
+            model = MLPClassifier(
+                hidden_sizes=(6,), max_epochs=10, seed=0
+            )
+            with kernels.use_backend(backend):
+                model.fit(x, y)
+            return [w.copy() for w in model._weights + model._biases]
+
+        for reference, compiled in zip(fit("numpy"), fit("numba")):
+            np.testing.assert_allclose(
+                compiled, reference, rtol=0, atol=1e-9
+            )
 
 
 class TestGCNDescent:

@@ -270,13 +270,87 @@ class TestTouchVersionsAndPatching:
             snapshot.weighted_degrees, [2.0, 4.0, 2.0, 0.0]
         )
 
-    def test_structural_mutation_rebuilds_snapshot(self):
+    def test_vanished_edge_tombstones_snapshot_in_place(self):
+        import numpy as np
+
         graph = WeightedGraph()
         graph.add_edge(0, 1, 1)
         graph.add_edge(1, 2, 2)
         snapshot = graph.snapshot()
         graph.decrement_edge(0, 1)  # hits zero -> edge vanishes
+        assert graph.snapshot() is snapshot  # tombstoned, not rebuilt
+        assert snapshot.version == graph.version
+        assert snapshot.n_tombstones == 2
+        assert snapshot.n_live == 2
+        a = snapshot.index_of([0, 1])
+        b = snapshot.index_of([1, 2])
+        np.testing.assert_array_equal(snapshot.pair_weights(a, b), [0.0, 2.0])
+        np.testing.assert_array_equal(snapshot.degrees, [0, 1, 1, 0])
+        assert graph.snapshot_patch_stats()["structural_hits"] == 1
+
+    def test_new_edge_consumes_reserved_slack_in_place(self):
+        import numpy as np
+
+        graph = WeightedGraph()
+        graph.add_edge(0, 1, 1)
+        graph.add_edge(1, 2, 2)
+        snapshot = graph.snapshot()
+        graph.add_edge(0, 2, 5)  # new edge between known nodes
+        assert graph.snapshot() is snapshot  # slack-inserted, not rebuilt
+        assert snapshot.version == graph.version
+        assert snapshot.n_live == 6
+        a = snapshot.index_of([0, 0])
+        b = snapshot.index_of([2, 1])
+        np.testing.assert_array_equal(snapshot.pair_weights(a, b), [5.0, 1.0])
+        np.testing.assert_array_equal(snapshot.degrees, [2, 2, 2, 0])
+        # keys stay sorted (non-strictly: slack sentinels share keys)
+        assert np.all(np.diff(snapshot.keys) >= 0)
+        assert graph.snapshot_patch_stats()["structural_hits"] == 1
+
+    def test_new_node_rebuilds_snapshot(self):
+        graph = WeightedGraph()
+        graph.add_edge(0, 1, 1)
+        snapshot = graph.snapshot()
+        graph.add_edge(1, 5, 1)  # node 5 is new: row indices shift
+        assert graph._snapshot_cache is None
         assert graph.snapshot() is not snapshot
+        # no snapshot existed by the time the edge mutation ran (the
+        # node insert dropped it), so nothing is counted as a miss
+        assert graph.snapshot_patch_stats()["structural_misses"] == 0
+
+    def test_slack_exhaustion_falls_back_to_rebuild(self):
+        graph = WeightedGraph(nodes=range(6))
+        graph.snapshot_slack_min = 1
+        graph.snapshot_slack_fraction = 0.0
+        graph.add_edge(0, 1, 1)
+        snapshot = graph.snapshot()
+        graph.add_edge(0, 2, 1)  # consumes row 0's single slack slot
+        assert graph.snapshot() is snapshot
+        graph.add_edge(0, 3, 1)  # row 0 slack exhausted -> rebuild
+        assert graph._snapshot_cache is None
+        stats = graph.snapshot_patch_stats()
+        assert stats["structural_hits"] == 1
+        assert stats["structural_misses"] == 1
+        rebuilt = graph.snapshot()
+        assert rebuilt.pair_weights(
+            rebuilt.index_of([0]), rebuilt.index_of([3])
+        )[0] == 1.0
+
+    def test_tombstone_compaction_threshold_triggers_rebuild(self):
+        graph = WeightedGraph()
+        for v in range(1, 9):
+            graph.add_edge(0, v, 1)
+        graph.snapshot_tombstone_min = 3
+        graph.snapshot()
+        removed = 0
+        while graph._snapshot_cache is not None and removed < 8:
+            removed += 1
+            graph.remove_edge(0, removed)
+        assert graph._snapshot_cache is None  # compaction dropped it
+        stats = graph.snapshot_patch_stats()
+        assert stats["compactions"] == 1
+        # tombstones > 3 and > half the used slots when it tripped
+        assert stats["structural_hits"] == removed - 1
 
     def test_weight_only_mutation_keeps_neighbor_sets(self):
         graph = WeightedGraph()
@@ -345,7 +419,10 @@ class TestSnapshotKernels:
         graph.add_edge(1, 3, 1)
         snapshot = graph.snapshot()
         np.testing.assert_array_equal(snapshot.node_ids, [1, 3, 5])
-        assert np.all(np.diff(snapshot.keys) > 0)  # strictly ascending
+        # live keys strictly ascending; the full array (slack sentinels
+        # included) still sorts, non-strictly.
+        assert np.all(np.diff(snapshot.keys[snapshot.alive]) > 0)
+        assert np.all(np.diff(snapshot.keys) >= 0)
         np.testing.assert_array_equal(snapshot.degrees, [2, 2, 2, 0])
         np.testing.assert_array_equal(
             snapshot.weighted_degrees, [3.0, 8.0, 9.0, 0.0]

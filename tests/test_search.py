@@ -155,6 +155,84 @@ class TestStableSampling:
         )
 
 
+def _sample_subcliques_sequential_reference(cliques, graph, seed):
+    """Per-clique loop computing the counter-based draws one at a time.
+
+    This is the pre-vectorization form of :func:`sample_subcliques_stable`;
+    the batched implementation groups cliques by size and ranks each
+    group in one shot, but its output stream - including deduplication
+    order - must stay bit-for-bit identical to this loop.
+    """
+    from repro.rng import MASK64, mix64, mix64_int
+
+    salt_base = mix64_int(seed & MASK64)
+    sampled, seen = [], set()
+    for clique in cliques:
+        members = sorted(clique)
+        n = len(members)
+        if n <= 2:
+            continue
+        ids = np.array(members, dtype=np.int64).astype(np.uint64)
+        stamp = graph.clique_touch_stamp(members)
+        # mix64_int applies the same SplitMix64 permutation as the
+        # array mix64, on plain Python ints (scalars would warn).
+        clique_salt = mix64_int(salt_base ^ (int(stamp) & MASK64))
+        for k in range(2, n):
+            salt = np.uint64(mix64_int(clique_salt ^ k))
+            order = np.argsort(mix64(ids ^ salt), kind="stable")
+            subclique = frozenset(members[int(i)] for i in order[:k])
+            if subclique not in seen:
+                seen.add(subclique)
+                sampled.append(subclique)
+    return sampled
+
+
+class TestStableSamplerVectorizationParity:
+    """The size-grouped batched sampler must reproduce the sequential
+    per-clique reference stream exactly."""
+
+    def _random_setup(self, seed):
+        from itertools import combinations
+
+        rng = np.random.default_rng(seed)
+        graph = WeightedGraph()
+        for u, v in combinations(range(18), 2):
+            if rng.random() < 0.4:
+                graph.add_edge(u, v, int(rng.integers(1, 4)))
+        cliques = []
+        for _ in range(25):
+            k = int(rng.integers(2, 7))  # include size-2 (skipped) cliques
+            members = rng.choice(18, size=k, replace=False)
+            cliques.append(frozenset(int(u) for u in members))
+        return graph, cliques
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_sequential_reference(self, seed):
+        graph, cliques = self._random_setup(seed)
+        assert sample_subcliques_stable(
+            cliques, graph, seed=seed
+        ) == _sample_subcliques_sequential_reference(cliques, graph, seed)
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_matches_reference_after_touches(self, seed):
+        """Touch stamps feed the salts; a partially touched graph must
+        not break the equivalence."""
+        graph, cliques = self._random_setup(seed)
+        for u, v in list(graph.edges())[::5]:
+            graph.decrement_edge(u, v)
+        assert sample_subcliques_stable(
+            cliques, graph, seed=seed
+        ) == _sample_subcliques_sequential_reference(cliques, graph, seed)
+
+    def test_members_of_fast_path_is_equivalent(self):
+        """The pool's cached sorted-member lists must not change draws."""
+        graph, cliques = self._random_setup(9)
+        cached = {c: sorted(c) for c in cliques}
+        assert sample_subcliques_stable(
+            cliques, graph, seed=9, members_of=cached.__getitem__
+        ) == sample_subcliques_stable(cliques, graph, seed=9)
+
+
 class TestBidirectionalSearch:
     def test_high_scores_are_converted(self, paper_figure3_graph):
         scorer = _ConstantScorer({2: 0.9, 3: 0.9, 4: 0.9})

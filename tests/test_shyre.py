@@ -107,3 +107,23 @@ class TestShyreUnsup:
         before = paper_figure3_graph.copy()
         ShyreUnsup().reconstruct(paper_figure3_graph)
         assert paper_figure3_graph == before
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_batched_ranking_matches_scalar_reference(self, seed):
+        """_rank_cliques (one batched pass over the CSR snapshot) must
+        order candidates exactly like the per-clique _rank_key sort."""
+        from repro.baselines.shyre_unsup import _rank_cliques
+        from repro.hypergraph.cliques import maximal_cliques_list
+
+        hypergraph = random_hypergraph(seed=seed, n_nodes=16, n_edges=30)
+        graph = project(hypergraph)
+        cliques = maximal_cliques_list(graph)
+        assert len(cliques) > 1
+        batched = _rank_cliques(cliques, graph)
+        reference = sorted(cliques, key=lambda c: _rank_key(c, graph))
+        assert batched == reference
+
+    def test_batched_ranking_handles_empty_list(self):
+        from repro.baselines.shyre_unsup import _rank_cliques
+
+        assert _rank_cliques([], WeightedGraph()) == []
