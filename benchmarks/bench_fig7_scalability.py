@@ -73,13 +73,48 @@ def test_fig7_scalability(benchmark):
     assert search_slope < 2.0
 
 
-def test_fig7_largest_scale(benchmark):
+def test_fig7_largest_scale(benchmark, grid_workers):
+    """The scale-4 input, reconstructed shard-by-shard.
+
+    Honors the repo-root ``--workers`` option (the orchestrator cells
+    per shard run on that many processes; the output is byte-identical
+    either way) and emits the run's numbers as JSON so CI and later
+    sessions can diff the largest-scale point exactly.
+    """
+    from repro.sharding import ShardingConfig
+
     base = load("dblp", seed=0)
     model = MARIOH(seed=0)
     model.fit(base.source_hypergraph.reduce_multiplicity())
     hypergraph = hypercl_like(base.hypergraph, scale=4.0, seed=0)
     graph = project(hypergraph)
+    sharding = ShardingConfig(n_shards=4, workers=grid_workers)
     reconstruction = benchmark.pedantic(
-        lambda: model.reconstruct(graph), rounds=1, iterations=1
+        lambda: model.reconstruct(graph, sharding=sharding),
+        rounds=1,
+        iterations=1,
     )
     assert project(reconstruction) == graph
+    stats = model.shard_stats_
+    emit(
+        "fig7_largest_scale",
+        (
+            f"Fig. 7 - largest scale (|E_G|={graph.num_edges}, "
+            f"{stats['n_shards']} shard(s), {grid_workers} worker(s)): "
+            f"partition {stats['partition_seconds']:.3f}s, grid "
+            f"{stats['grid_wall_seconds']:.3f}s, stitch "
+            f"{stats['stitch_seconds']:.3f}s"
+        ),
+        payload={
+            "scale": 4.0,
+            "edge_count": graph.num_edges,
+            "workers": grid_workers,
+            "n_shards": stats["n_shards"],
+            "boundary_edges": stats["boundary_edges"],
+            "partition_seconds": float(stats["partition_seconds"]),
+            "grid_wall_seconds": float(stats["grid_wall_seconds"]),
+            "stitch_seconds": float(stats["stitch_seconds"]),
+            "total_seconds": float(stats["total_seconds"]),
+            "result_digest": stats["result_digest"],
+        },
+    )

@@ -51,6 +51,7 @@ from repro.experiments import run_method
 from repro.experiments.orchestrator import GridSpec, run_grid
 from repro.hypergraph.cliques import maximal_cliques_list
 from repro.resilience import FaultPlan, RetryPolicy
+from repro.sharding.execute import peak_rss_mb
 
 #: keys that must be present in BENCH_hotpath.json for the cache
 #: trajectory to stay auditable; test_hotpath_metrics_written fails
@@ -66,6 +67,7 @@ REQUIRED_CACHE_KEYS = (
     "reconstruct_iterations",
     "per_iteration_reconstruct_ms_mean",
     "per_iteration_reconstruct_ms_max",
+    "peak_rss_mb",
 )
 
 #: kernel-backend keys written by test_kernel_backend_speedups; the
@@ -215,6 +217,9 @@ def test_hotpath_microbench():
             "snapshot_structural_patch_misses": patch_stats[
                 "structural_misses"
             ],
+            # Memory ceiling of this benchmark process (ru_maxrss): the
+            # number the sharded path's per-shard RSS is compared to.
+            "peak_rss_mb": round(peak_rss_mb(), 2),
         },
     )
 

@@ -1,0 +1,132 @@
+"""Sharded reconstruction at scale: partition, per-shard cells, stitch.
+
+Reconstructs a ~100k-edge chained-clique projection (the million-edge
+generator at smoke scale) through ``MARIOH.reconstruct(sharding=...)``
+at 1 worker and at the ``--workers`` count, asserting the headline
+contract - byte-identical stitched output at any worker count and
+exact weight conservation (``project(stitched) == target``) - and
+recording the ``shard_*`` trajectory metrics (partition / stitch time,
+per-shard peak RSS, speedup vs workers) into ``BENCH_hotpath.json``.
+
+Drive with more cores via ``python -m repro run-grid --bench sharding
+--workers 4``.  For a full million-edge run, see docs/sharding.md.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import emit_json, merge_into_hotpath
+
+from repro.core.marioh import MARIOH
+from repro.datasets.largescale import (
+    LargeScaleConfig,
+    chained_clique_projection,
+)
+from repro.datasets.synthetic import (
+    GroupInteractionConfig,
+    generate_group_hypergraph,
+)
+from repro.hypergraph.projection import project
+from repro.sharding import ShardingConfig, hypergraph_digest
+
+#: smoke scale: large enough that one shard budget (10k edges) forces a
+#: real multi-shard plan with cut edges, small enough for a CI job.
+N_EDGES = 100_000
+MAX_SHARD_EDGES = 10_000
+
+#: required keys of the sharding trajectory; asserted below so a
+#: refactor cannot silently drop them from BENCH_hotpath.json.
+REQUIRED_SHARD_KEYS = (
+    "shard_n_edges",
+    "shard_n_shards",
+    "shard_max_shard_edges",
+    "shard_boundary_edges",
+    "shard_partition_seconds",
+    "shard_stitch_seconds",
+    "shard_peak_rss_mb",
+    "shard_peak_rss_mb_max",
+    "shard_wall_seconds_workers1",
+    "shard_wall_seconds_multi",
+    "shard_workers_multi",
+    "shard_speedup",
+    "shard_byte_identical",
+    "shard_result_digest",
+)
+
+
+def _fitted_model() -> MARIOH:
+    source, _, _ = generate_group_hypergraph(
+        GroupInteractionConfig(
+            n_nodes=200, n_interactions=600, n_communities=10
+        ),
+        seed=3,
+    )
+    return MARIOH(seed=3, phase2_scope="component").fit(source)
+
+
+def test_sharded_reconstruction_scale(grid_workers):
+    graph = chained_clique_projection(
+        LargeScaleConfig(n_edges=N_EDGES), seed=1
+    )
+    model = _fitted_model()
+
+    started = time.perf_counter()
+    result_w1 = model.reconstruct(
+        graph, sharding=ShardingConfig(max_shard_edges=MAX_SHARD_EDGES)
+    )
+    wall_w1 = time.perf_counter() - started
+    stats_w1 = dict(model.shard_stats_)
+
+    workers_multi = max(grid_workers, 2)
+    started = time.perf_counter()
+    result_multi = model.reconstruct(
+        graph,
+        sharding=ShardingConfig(
+            max_shard_edges=MAX_SHARD_EDGES, workers=workers_multi
+        ),
+    )
+    wall_multi = time.perf_counter() - started
+    stats_multi = dict(model.shard_stats_)
+
+    digest = hypergraph_digest(result_w1)
+    byte_identical = digest == hypergraph_digest(result_multi)
+    assert byte_identical, (
+        f"sharded output diverged between 1 and {workers_multi} workers"
+    )
+    assert stats_w1["plan_hash"] == stats_multi["plan_hash"]
+    assert project(result_w1) == graph, "weight conservation violated"
+    assert max(stats_w1["shard_peak_rss_mb"]) > 0.0
+
+    metrics = {
+        "shard_n_edges": graph.num_edges,
+        "shard_n_shards": stats_w1["n_shards"],
+        "shard_max_shard_edges": MAX_SHARD_EDGES,
+        "shard_boundary_edges": stats_w1["boundary_edges"],
+        "shard_boundary_weight": stats_w1["boundary_weight"],
+        "shard_partition_seconds": round(stats_w1["partition_seconds"], 4),
+        "shard_stitch_seconds": round(stats_w1["stitch_seconds"], 4),
+        "shard_peak_rss_mb": stats_multi["shard_peak_rss_mb"],
+        "shard_peak_rss_mb_max": stats_multi["peak_rss_mb_max"],
+        "shard_wall_seconds_workers1": round(wall_w1, 4),
+        "shard_wall_seconds_multi": round(wall_multi, 4),
+        "shard_workers_multi": workers_multi,
+        # Interpret the speedup against the core count: on starved
+        # (single-core) runners the multi-worker run time-slices one
+        # CPU and the ratio dips below 1; byte-identity is the contract
+        # asserted everywhere, speedup only where cores exist.
+        "shard_speedup": round(wall_w1 / max(wall_multi, 1e-9), 3),
+        "shard_cpu_count": os.cpu_count() or 1,
+        "shard_byte_identical": byte_identical,
+        "shard_result_digest": digest,
+    }
+    emit_json("BENCH_sharding", metrics)
+    merge_into_hotpath(metrics)
+    missing = [key for key in REQUIRED_SHARD_KEYS if key not in metrics]
+    assert not missing, f"sharding bench lost required metrics: {missing}"
+    if (os.cpu_count() or 1) >= 4 and workers_multi >= 4:
+        assert metrics["shard_speedup"] >= 1.5, (
+            f"sharded fan-out only {metrics['shard_speedup']:.2f}x on "
+            f"{os.cpu_count()} cores"
+        )

@@ -56,10 +56,44 @@ def _cmd_reconstruct(args: argparse.Namespace) -> int:
         target_graph = bundle.target_graph
         name = bundle.name
 
+    sharding = None
+    if args.shards or args.max_shard_edges:
+        from repro.core.marioh import MARIOH
+        from repro.sharding import ShardingConfig
+
+        sharding = ShardingConfig(
+            max_shard_edges=args.max_shard_edges,
+            n_shards=args.shards,
+            workers=args.workers,
+            seed=args.seed,
+            workdir=args.shard_workdir,
+        )
+
     method = make_method(args.method, seed=args.seed)
+    if sharding is not None and not isinstance(method, MARIOH):
+        print(f"error: --shards/--max-shard-edges require MARIOH, "
+              f"not {args.method}")
+        return 2
     method.fit(source)
-    reconstruction = method.reconstruct(target_graph)
+    if sharding is not None:
+        reconstruction = method.reconstruct(target_graph, sharding=sharding)
+    else:
+        reconstruction = method.reconstruct(target_graph)
     print(f"{args.method} on {name}:")
+    if sharding is not None:
+        stats = method.shard_stats_
+        print(
+            f"  sharded: {stats['n_shards']} shard(s) "
+            f"(budget {stats['max_shard_edges']} edges, "
+            f"{stats.get('boundary_edges', 0)} boundary edges, "
+            f"{args.workers} worker(s))"
+        )
+        print(
+            f"  plan {str(stats['plan_hash'])[:12]}: partition "
+            f"{stats['partition_seconds']:.2f}s, grid "
+            f"{stats.get('grid_wall_seconds', 0.0):.2f}s, stitch "
+            f"{stats.get('stitch_seconds', 0.0):.2f}s"
+        )
     print(f"  reconstructed hyperedges: {reconstruction.num_unique_edges}")
     print(f"  Jaccard:       {jaccard_similarity(target, reconstruction):.4f}")
     print(
@@ -132,6 +166,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     reconstruct.add_argument(
         "--output", help="write the reconstruction to this file"
+    )
+    reconstruct.add_argument(
+        "--shards", type=int,
+        help="reconstruct shard-by-shard on the orchestrator, targeting "
+        "this many shards (MARIOH only; results are byte-identical to "
+        "any other worker count)",
+    )
+    reconstruct.add_argument(
+        "--max-shard-edges", type=int,
+        help="shard budget as an explicit intra-shard edge cap "
+        "(alternative to --shards)",
+    )
+    reconstruct.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for sharded reconstruction (default 1)",
+    )
+    reconstruct.add_argument(
+        "--shard-workdir",
+        help="persistent shard working directory: per-shard cells "
+        "checkpoint here and a rerun resumes from completed shards",
     )
 
     evaluate = commands.add_parser(

@@ -26,7 +26,7 @@ from __future__ import annotations
 import dataclasses
 import logging
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,6 +41,9 @@ from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.projection import project
 from repro.hypergraph.split import subsample_supervision
 from repro.resilience.errors import InvariantViolation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sharding.execute import ShardingConfig
 
 VARIANTS = ("full", "no_multiplicity", "no_filtering", "no_bidirectional")
 
@@ -92,6 +95,14 @@ class MARIOH:
         20-100).
     alpha:
         Threshold adjust ratio α (paper default 1/20).
+    phase2_scope:
+        How the Phase-2 ``r%`` tail quota is computed: ``"global"``
+        (the paper's rule, the default) over the whole sub-θ candidate
+        list, or ``"component"`` per connected component of the working
+        graph.  Component scope makes reconstruction exactly
+        decomposable across connected components - the property sharded
+        reconstruction relies on for boundary-free parity - while
+        global scope couples components through one shared quota.
     variant:
         One of ``"full"``, ``"no_multiplicity"``, ``"no_filtering"``,
         ``"no_bidirectional"`` - see the module docstring.
@@ -136,6 +147,7 @@ class MARIOH:
         theta_init: float = 0.9,
         r: float = 20.0,
         alpha: float = 1.0 / 20.0,
+        phase2_scope: str = "global",
         variant: str = "full",
         hidden_sizes: Sequence[int] = (64, 32),
         negative_ratio: float = 2.0,
@@ -153,6 +165,11 @@ class MARIOH:
             raise ValueError(f"r must be in [0, 100], got {r}")
         if not 0.0 < alpha <= 1.0:
             raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if phase2_scope not in ("global", "component"):
+            raise ValueError(
+                f"phase2_scope must be 'global' or 'component', "
+                f"got {phase2_scope!r}"
+            )
         if variant not in VARIANTS:
             raise ValueError(f"variant must be one of {VARIANTS}, got {variant!r}")
         if engine not in ("rescan", "incremental"):
@@ -167,6 +184,7 @@ class MARIOH:
         self.theta_init = theta_init
         self.r = r
         self.alpha = alpha
+        self.phase2_scope = phase2_scope
         self.variant = variant
         self.hidden_sizes = tuple(hidden_sizes)
         self.negative_ratio = negative_ratio
@@ -211,6 +229,11 @@ class MARIOH:
         #: :meth:`~repro.hypergraph.graph.WeightedGraph.snapshot_patch_stats`);
         #: the source of BENCH_hotpath.json's patch hit rates.
         self.snapshot_patch_stats_: Dict[str, int] = {}
+        #: sharded-reconstruction telemetry of the last
+        #: ``reconstruct(..., sharding=...)`` call: plan hash, shard and
+        #: boundary sizes, partition/stitch timings, per-shard peak RSS.
+        #: Empty on unsharded runs.
+        self.shard_stats_: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -249,7 +272,11 @@ class MARIOH:
         self.stage_times_["train"] = self.classifier.train_seconds_
         return self
 
-    def reconstruct(self, target_graph: WeightedGraph) -> Hypergraph:
+    def reconstruct(
+        self,
+        target_graph: WeightedGraph,
+        sharding: Optional["ShardingConfig"] = None,
+    ) -> Hypergraph:
         """Reconstruct a hypergraph from the target projected graph.
 
         Follows Algorithm 1: filtering (unless the -F variant), then
@@ -262,6 +289,14 @@ class MARIOH:
             The projected graph ``G`` to invert.  Not modified: the
             loop mutates a working copy and uses the original as the
             immutable reference for the maximality feature.
+        sharding : ShardingConfig, optional
+            When given, the graph is partitioned under the config's
+            ``max_shard_edges`` budget and reconstructed shard-by-shard
+            on the experiment orchestrator (see
+            :func:`repro.sharding.reconstruct_sharded`), with boundary
+            edges re-scored in a deterministic stitch pass.  Results
+            are byte-identical at any worker count; shard telemetry
+            lands in :attr:`shard_stats_`.
 
         Returns
         -------
@@ -282,6 +317,10 @@ class MARIOH:
         """
         if not self.is_fitted:
             raise RuntimeError("call fit() before reconstruct()")
+        if sharding is not None:
+            from repro.sharding.execute import reconstruct_sharded
+
+            return reconstruct_sharded(self, target_graph, sharding)
         with kernel_backends.use_backend(self.kernels):
             return self._reconstruct(target_graph)
 
@@ -367,6 +406,7 @@ class MARIOH:
                 pool=pool,
                 recorder=recorder,
                 sample_seed=sample_seed,
+                phase2_scope=self.phase2_scope,
             )
             if recorder is not None:
                 for clique, stage, score in recorder:
@@ -414,6 +454,7 @@ class MARIOH:
               "format": "repro-marioh",     # file-type tag (required)
               "version": 2,
               "theta_init": float, "r": float, "alpha": float,
+              "phase2_scope": str,          # absent in older files
               "variant": str, "engine": str, "seed": int | null,
               "hidden_sizes": [int, ...],   # classifier hyperparameters
               "negative_ratio": float, "max_epochs": int,
@@ -435,6 +476,7 @@ class MARIOH:
             "theta_init": self.theta_init,
             "r": self.r,
             "alpha": self.alpha,
+            "phase2_scope": self.phase2_scope,
             "variant": self.variant,
             "hidden_sizes": list(self.hidden_sizes),
             "negative_ratio": self.negative_ratio,
@@ -475,6 +517,9 @@ class MARIOH:
             theta_init=payload["theta_init"],
             r=payload["r"],
             alpha=payload["alpha"],
+            # Additive in-place extension of payload v2; older files
+            # simply predate the knob and ran under the global rule.
+            phase2_scope=payload.get("phase2_scope", "global"),
             variant=payload["variant"],
             engine=payload.get("engine", "rescan"),
             seed=payload.get("seed"),

@@ -20,12 +20,29 @@ from repro.hypergraph.cliques import Clique, maximal_cliques_list
 from repro.hypergraph.graph import Node, WeightedGraph
 from repro.hypergraph.hypergraph import Hypergraph
 
-# SplitMix64 primitives live in repro.rng so the orchestrator and the
-# MLP shuffle stream share the exact same mix; the aliases keep this
-# module's historical names.
-from repro.rng import MASK64 as _MASK64
-from repro.rng import mix64 as _mix64
-from repro.rng import mix64_int as _mix64_int
+# SplitMix64 primitives live in repro.rng so the orchestrator, the
+# sharding partitioner, and the MLP shuffle stream all share the exact
+# same mix.
+from repro.rng import MASK64, mix64, mix64_int
+
+#: historical private aliases, kept importable through ``__getattr__``
+#: below (with a DeprecationWarning) for one release cycle.
+_RNG_ALIASES = {"_MASK64": MASK64, "_mix64": mix64, "_mix64_int": mix64_int}
+
+
+def __getattr__(name: str):
+    """Deprecation shim for the pre-consolidation SplitMix64 aliases."""
+    if name in _RNG_ALIASES:
+        import warnings
+
+        warnings.warn(
+            f"repro.core.search.{name} is deprecated; import the "
+            f"equivalent helper from repro.rng instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _RNG_ALIASES[name]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _replace_if_present(
@@ -79,6 +96,7 @@ def sample_subcliques_stable(
     graph: WeightedGraph,
     seed: int,
     members_of: Optional[Callable[[Clique], List[Node]]] = None,
+    local_stamps: bool = False,
 ) -> List[Clique]:
     """Counter-based Phase 2 sampling: one k-subset per size, per clique.
 
@@ -112,8 +130,20 @@ def sample_subcliques_stable(
     (the incremental engine passes the candidate pool's cached lists,
     :meth:`~repro.core.pool.CliqueCandidatePool.sorted_members`, saving
     a re-sort per clique per iteration).
+
+    ``local_stamps`` switches the per-clique salt from
+    :meth:`~repro.hypergraph.graph.WeightedGraph.clique_touch_stamp`
+    (graph-wide version at touch time - the legacy stream) to
+    :meth:`~repro.hypergraph.graph.WeightedGraph.clique_touch_count`
+    (mutation counts local to the members).  The local salt is a pure
+    function of the clique's own component, so sampling decomposes over
+    connected components - the property ``phase2_scope="component"``
+    and sharded reconstruction's exact-parity guarantee require.
     """
-    salt_base = _mix64_int(seed & _MASK64)
+    salt_base = mix64_int(seed & MASK64)
+    stamp_of = (
+        graph.clique_touch_count if local_stamps else graph.clique_touch_stamp
+    )
     if members_of is None:
         members_of = sorted
     # Group the tail by clique size; each group is ranked in one shot.
@@ -129,17 +159,17 @@ def sample_subcliques_stable(
         ids = np.array([members for _, members in group], dtype=np.int64)
         ids = ids.astype(np.uint64)  # (m, n)
         stamps = np.fromiter(
-            (graph.clique_touch_stamp(members) for _, members in group),
+            (stamp_of(members) for _, members in group),
             dtype=np.uint64,
             count=len(group),
         )
-        clique_salts = _mix64(np.uint64(salt_base) ^ stamps)  # (m,)
-        salts = _mix64(
+        clique_salts = mix64(np.uint64(salt_base) ^ stamps)  # (m,)
+        salts = mix64(
             clique_salts[:, None] ^ np.arange(2, n, dtype=np.uint64)[None, :]
         )  # (m, n - 2)
         # (m, n - 2, n) keys: row j ranks the members for size j + 2.
         order = np.argsort(
-            _mix64(ids[:, None, :] ^ salts[:, :, None]),
+            mix64(ids[:, None, :] ^ salts[:, :, None]),
             axis=2,
             kind="stable",
         )
@@ -161,6 +191,86 @@ def sample_subcliques_stable(
     return sampled
 
 
+def _clique_components(cliques: Sequence[Clique]) -> List[int]:
+    """Connected-component label of each clique, via shared nodes.
+
+    Union-find over clique indices: two cliques join when they share a
+    node.  Because every edge of the graph lies inside some maximal
+    clique, cliques of the same graph component are always transitively
+    joined, so the labels equal the graph's connected components
+    restricted to non-isolated nodes.  Labels are the component's
+    smallest clique index - a pure function of the clique *contents*,
+    independent of what other components exist.
+    """
+    parent = list(range(len(cliques)))
+
+    def find(i: int) -> int:
+        root = i
+        while parent[root] != root:
+            root = parent[root]
+        while parent[i] != root:
+            parent[i], i = root, parent[i]
+        return root
+
+    owner: Dict[Node, int] = {}
+    for index, clique in enumerate(cliques):
+        for node in clique:
+            if node in owner:
+                ru, rv = find(owner[node]), find(index)
+                if ru != rv:
+                    if ru < rv:
+                        parent[rv] = ru
+                    else:
+                        parent[ru] = rv
+            else:
+                owner[node] = index
+    return [find(i) for i in range(len(cliques))]
+
+
+def phase2_tail_indices(
+    remaining: Sequence[int],
+    r: float,
+    scope: str,
+    cliques: Sequence[Clique],
+) -> List[int]:
+    """Indices of the Phase-2 tail under the given quota scope.
+
+    ``remaining`` is the sub-θ candidate list in ascending-score order.
+    ``scope="global"`` takes the first ``ceil(len(remaining) * r%)``
+    entries - the paper's rule, which couples every component of the
+    graph through one shared quota.  ``scope="component"`` computes the
+    same ``r%`` quota *per connected component*, so each component's
+    tail is a pure function of that component alone; this is the
+    decomposable rule sharded reconstruction relies on for exact parity
+    on boundary-free partitions.
+    """
+    if scope == "global":
+        n_negative = int(np.ceil(len(remaining) * r / 100.0))
+        return list(remaining[:n_negative])
+    if scope != "component":
+        raise ValueError(
+            f"phase2_scope must be 'global' or 'component', got {scope!r}"
+        )
+    labels = _clique_components(cliques)
+    counts: Dict[int, int] = {}
+    for index in remaining:
+        label = labels[index]
+        counts[label] = counts.get(label, 0) + 1
+    quotas = {
+        label: int(np.ceil(count * r / 100.0))
+        for label, count in counts.items()
+    }
+    taken: Dict[int, int] = {}
+    tail: List[int] = []
+    for index in remaining:
+        label = labels[index]
+        used = taken.get(label, 0)
+        if used < quotas[label]:
+            taken[label] = used + 1
+            tail.append(index)
+    return tail
+
+
 def bidirectional_search(
     graph: WeightedGraph,
     classifier: CliqueClassifier,
@@ -173,6 +283,7 @@ def bidirectional_search(
     pool: Optional["CliqueCandidatePool"] = None,
     recorder: Optional[List[Tuple[Clique, str, float]]] = None,
     sample_seed: Optional[int] = None,
+    phase2_scope: str = "global",
 ) -> Tuple[WeightedGraph, Hypergraph, int]:
     """One iteration of Algorithm 3, mutating ``graph`` and ``reconstruction``.
 
@@ -211,6 +322,12 @@ def bidirectional_search(
         :func:`sample_subcliques_stable` sampler under this seed
         (decoupled from every sequential RNG stream and coherent with
         the feature-row cache) instead of drawing from ``rng``.
+    phase2_scope:
+        How the Phase-2 ``r%`` tail quota is computed:
+        ``"global"`` (the paper's rule) over the whole sub-θ list,
+        ``"component"`` per connected component (see
+        :func:`phase2_tail_indices`) - the decomposable variant used by
+        sharded reconstruction.
 
     Returns ``(graph, reconstruction, n_converted)`` where the count says
     how many cliques became hyperedges this iteration.
@@ -234,8 +351,9 @@ def bidirectional_search(
     positive_indices = descending[scores[descending] > theta].tolist()
     ascending = np.argsort(scores, kind="stable")
     remaining = ascending[scores[ascending] <= theta].tolist()
-    n_negative = int(np.ceil(len(remaining) * r / 100.0))
-    negative_indices = remaining[:n_negative]
+    negative_indices = phase2_tail_indices(
+        remaining, r, phase2_scope, cliques
+    )
 
     converted = 0
     vanished_pairs: List[Tuple[int, int]] = []
@@ -255,7 +373,11 @@ def bidirectional_search(
         if sample_seed is not None:
             members_of = pool.sorted_members if pool is not None else None
             subcliques = sample_subcliques_stable(
-                tail, graph, sample_seed, members_of=members_of
+                tail,
+                graph,
+                sample_seed,
+                members_of=members_of,
+                local_stamps=phase2_scope == "component",
             )
         else:
             subcliques = sample_subcliques(tail, rng)

@@ -74,7 +74,7 @@ from repro.resilience.retry import (
     classify_error,
     watchdog,
 )
-from repro.rng import MASK64, mix_tokens
+from repro.rng import derive_seed
 
 #: Method-name prefix that triggers deliberate cell failure.  Used by the
 #: determinism/regression harness to exercise the failure paths:
@@ -97,9 +97,18 @@ class GridSpec:
     ``seeds[i]`` - exactly what the serial ``accuracy_table`` /
     ``seed_sweep`` loops did, preserving their numbers.
     ``seed_mode="derived"`` ignores ``seeds`` and derives the cell seed
-    as ``mix_tokens(base_seed, (method, dataset, seed_index))`` for
+    as ``derive_seed(base_seed, (method, dataset, seed_index))`` for
     ``seed_index in range(n_seeds)``: every cell gets a decorrelated
     63-bit seed that is a pure function of its coordinates.
+
+    ``kind`` selects the cell executor.  The default ``"experiment"``
+    runs ``(method, dataset, seed)`` cells through the harness;
+    ``"shard"`` runs sharded-reconstruction cells (one per shard of a
+    :class:`~repro.sharding.plan.ShardPlan`) whose working files are
+    named by ``context`` - a tuple of ``(key, value)`` string pairs
+    merged into every cell payload and pinned into the grid
+    fingerprint, so a checkpoint can never resume against a different
+    plan or workdir.
     """
 
     methods: Tuple[str, ...]
@@ -110,8 +119,12 @@ class GridSpec:
     seed_mode: str = "explicit"
     base_seed: int = 0
     n_seeds: int = 1
+    kind: str = "experiment"
+    context: Tuple[Tuple[str, str], ...] = ()
 
     def __post_init__(self) -> None:
+        if self.kind not in ("experiment", "shard"):
+            raise ValueError(f"unknown grid kind {self.kind!r}")
         if self.seed_mode not in ("explicit", "derived"):
             raise ValueError(f"unknown seed_mode {self.seed_mode!r}")
         if self.seed_mode == "explicit" and not self.seeds:
@@ -130,14 +143,11 @@ class GridSpec:
     def cell_seed(self, method: str, dataset: str, seed_index: int) -> int:
         if self.seed_mode == "explicit":
             return int(self.seeds[seed_index])
-        derived = mix_tokens(
-            self.base_seed & MASK64, (method, dataset, seed_index)
-        )
-        return derived & 0x7FFFFFFFFFFFFFFF
+        return derive_seed(self.base_seed, (method, dataset, seed_index))
 
     def cells(self) -> List[Dict[str, object]]:
         """Cell payloads in canonical (method, dataset, seed) order."""
-        return [
+        payloads = [
             {
                 "key": cell_key(method, dataset, index),
                 "method": method,
@@ -151,9 +161,15 @@ class GridSpec:
             for dataset in self.datasets
             for index in self.seed_indices
         ]
+        if self.kind != "experiment":
+            extra = dict(self.context)
+            for payload in payloads:
+                payload["kind"] = self.kind
+                payload.update(extra)
+        return payloads
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "methods": list(self.methods),
             "datasets": list(self.datasets),
             "seeds": list(self.seeds),
@@ -163,6 +179,13 @@ class GridSpec:
             "base_seed": self.base_seed,
             "n_seeds": self.n_seeds,
         }
+        # Only non-experiment grids serialize the executor fields, so
+        # fingerprints (and thus resumable checkpoints) of every grid
+        # written before ``kind`` existed stay valid.
+        if self.kind != "experiment" or self.context:
+            payload["kind"] = self.kind
+            payload["context"] = [list(pair) for pair in self.context]
+        return payload
 
     def fingerprint(self) -> str:
         """Canonical identity of the grid, pinned into checkpoints."""
@@ -179,6 +202,11 @@ class GridSpec:
             seed_mode=str(payload["seed_mode"]),
             base_seed=int(payload["base_seed"]),
             n_seeds=int(payload["n_seeds"]),
+            kind=str(payload.get("kind", "experiment")),
+            context=tuple(
+                (str(key), str(value))
+                for key, value in payload.get("context", [])
+            ),
         )
 
 
@@ -240,6 +268,7 @@ def _execute_cell(
     from repro.experiments.harness import run_method
 
     method = str(payload["method"])
+    kind = str(payload.get("kind", "experiment"))
     attempt = int(payload.get("attempt", 0))
     record: Dict[str, object] = {
         "key": payload["key"],
@@ -258,7 +287,11 @@ def _execute_cell(
         # before the watchdog arms so a pool worker's cold first cell
         # (imports + dataset generation) cannot spuriously trip a tight
         # deadline meant for the method itself.
-        if bundle is None and not method.startswith(FAULT_PREFIX):
+        if (
+            bundle is None
+            and kind == "experiment"
+            and not method.startswith(FAULT_PREFIX)
+        ):
             bundle = _load_bundle(
                 str(payload["dataset"]), int(payload["dataset_seed"])
             )
@@ -267,26 +300,38 @@ def _execute_cell(
             if fault:
                 _inject_fault(str(fault), attempt, armed, cell_timeout)
             if method.startswith(FAULT_PREFIX):
-                kind = method[len(FAULT_PREFIX) :]
-                if kind == "exit":
+                fault_kind = method[len(FAULT_PREFIX) :]
+                if fault_kind == "exit":
                     os._exit(1)
-                if kind.startswith("sleep:"):
-                    time.sleep(float(kind.split(":", 1)[1]))
-                raise RuntimeError(f"injected fault {kind!r}")
+                if fault_kind.startswith("sleep:"):
+                    time.sleep(float(fault_kind.split(":", 1)[1]))
+                raise RuntimeError(f"injected fault {fault_kind!r}")
             started = time.perf_counter()
-            result = run_method(
-                method,
-                bundle,
-                preserve_multiplicity=bool(payload["preserve_multiplicity"]),
-                seed=int(payload["cell_seed"]),
-            )
-        record.update(
-            status="ok",
-            jaccard=result.jaccard,
-            multi_jaccard=result.multi_jaccard,
-            runtime_seconds=result.runtime_seconds,
-            wall_seconds=time.perf_counter() - started,
-        )
+            if kind == "shard":
+                from repro.sharding.execute import execute_shard_cell
+
+                shard_record = execute_shard_cell(payload)
+                record.update(
+                    status="ok",
+                    wall_seconds=time.perf_counter() - started,
+                    **shard_record,
+                )
+            else:
+                result = run_method(
+                    method,
+                    bundle,
+                    preserve_multiplicity=bool(
+                        payload["preserve_multiplicity"]
+                    ),
+                    seed=int(payload["cell_seed"]),
+                )
+                record.update(
+                    status="ok",
+                    jaccard=result.jaccard,
+                    multi_jaccard=result.multi_jaccard,
+                    runtime_seconds=result.runtime_seconds,
+                    wall_seconds=time.perf_counter() - started,
+                )
     except Exception as exc:
         # Cell isolation: no *error* escapes.  KeyboardInterrupt and
         # SystemExit deliberately propagate - an operator's Ctrl+C must
@@ -354,6 +399,8 @@ class GridResult:
                     "status",
                     "jaccard",
                     "multi_jaccard",
+                    "result_digest",
+                    "n_edges",
                     "error_type",
                     "error_class",
                     "error_message",

@@ -446,6 +446,7 @@ class WeightedGraph:
         self._structure_version = 0
         self._uid = next(_UID_COUNTER)
         self._touch_version: Dict[Node, int] = {}
+        self._touch_count: Dict[Node, int] = {}
         self._snapshot_cache: Optional[GraphSnapshot] = None
         self._neighbor_sets_cache: Optional[Dict[Node, Set[Node]]] = None
         self._maximality_memo: Optional[Dict[Tuple[Node, ...], float]] = None
@@ -481,6 +482,7 @@ class WeightedGraph:
         self._structure_version += 1
         for node in touched:
             self._touch_version[node] = self._version
+            self._touch_count[node] = self._touch_count.get(node, 0) + 1
         self._snapshot_cache = None
         self._pending_weight_patches.clear()
         self._neighbor_sets_cache = None
@@ -504,6 +506,8 @@ class WeightedGraph:
         self._structure_version += 1
         self._touch_version[u] = self._version
         self._touch_version[v] = self._version
+        self._touch_count[u] = self._touch_count.get(u, 0) + 1
+        self._touch_count[v] = self._touch_count.get(v, 0) + 1
         self._neighbor_sets_cache = None
         self._maximality_memo = None
         snapshot = self._snapshot_cache
@@ -566,6 +570,8 @@ class WeightedGraph:
         self._version += 1
         self._touch_version[u] = self._version
         self._touch_version[v] = self._version
+        self._touch_count[u] = self._touch_count.get(u, 0) + 1
+        self._touch_count[v] = self._touch_count.get(v, 0) + 1
         snapshot = self._snapshot_cache
         if snapshot is None:
             return
@@ -794,6 +800,22 @@ class WeightedGraph:
         """
         touch = self._touch_version
         return max((touch.get(u, 0) for u in members), default=0)
+
+    def clique_touch_count(self, members: Iterable[Node]) -> int:
+        """Sum of per-node mutation counts over ``members``.
+
+        Unlike :meth:`clique_touch_stamp` - whose stamps carry the
+        graph-wide :attr:`version` at touch time, and therefore shift
+        with mutations *anywhere* in the graph - this is a pure function
+        of the mutation history local to the members' own edges.  It is
+        the sampling salt of ``phase2_scope="component"``: restricted to
+        one connected component it takes the same values whether that
+        component is reconstructed alone or as part of a larger graph,
+        which is what sharded reconstruction's exact-parity guarantee
+        rests on.
+        """
+        counts = self._touch_count
+        return sum(counts.get(u, 0) for u in members)
 
     def has_edge(self, u: Node, v: Node) -> bool:
         return v in self._adj.get(u, {})

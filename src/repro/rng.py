@@ -63,6 +63,22 @@ def mix_tokens(seed: int, tokens: Iterable[object]) -> int:
     return state
 
 
+def derive_seed(seed: int, tokens: Iterable[object]) -> int:
+    """Derive a decorrelated 63-bit child seed keyed by ``(seed, tokens)``.
+
+    The single source of truth for seed derivation across subsystems:
+    the orchestrator's per-cell seeds, the sharding partitioner's
+    per-shard streams, and any future consumer all fold their
+    coordinates through this helper.  The result is a pure function of
+    its inputs (no stream state) masked to 63 bits so it is always a
+    valid non-negative seed for ``numpy.random.SeedSequence`` and
+    friends.  Distinct domain tags in ``tokens`` (e.g. ``"shard-plan"``
+    vs a grid cell's method name) yield statistically independent
+    streams from the same base seed.
+    """
+    return mix_tokens(seed & MASK64, tokens) & 0x7FFFFFFFFFFFFFFF
+
+
 def unit_uniform(seed: int, tokens: Iterable[object]) -> float:
     """Deterministic uniform draw in ``[0, 1)`` keyed by ``(seed, tokens)``.
 

@@ -1,0 +1,39 @@
+"""Sharded reconstruction: partition, per-shard cells, deterministic stitch.
+
+Million-edge projected graphs cannot be reconstructed in one process -
+the dense candidate pool is memory-bound - so this package splits the
+problem along the graph's own structure and reuses the experiment
+orchestrator as the execution substrate:
+
+1. :func:`~repro.sharding.plan.partition` computes an explicit
+   :class:`~repro.sharding.plan.ShardPlan` up front (connected
+   components first, then a seeded min-cut-style refinement of
+   oversized components under a ``max_shard_edges`` budget), in the
+   pyoptsparse idiom of declaring the sparse block structure before
+   any heavy work starts.
+2. :func:`~repro.sharding.execute.reconstruct_sharded` runs one
+   orchestrator cell per shard through
+   :func:`repro.experiments.orchestrator.run_grid`, inheriting
+   checkpoint/resume, retry, and quarantine; per-shard results are
+   keyed by the plan hash.
+3. :func:`~repro.sharding.stitch.stitch` re-scores the boundary cut
+   through the same fitted classifier (batched MHH/featurize kernels)
+   and merges everything with a stable order, so the output is
+   byte-identical at any worker count.
+
+See ``docs/sharding.md`` for the plan format, determinism guarantees,
+and tuning guidance.
+"""
+
+from repro.sharding.execute import ShardingConfig, reconstruct_sharded
+from repro.sharding.plan import ShardPlan, partition
+from repro.sharding.stitch import hypergraph_digest, stitch
+
+__all__ = [
+    "ShardPlan",
+    "ShardingConfig",
+    "hypergraph_digest",
+    "partition",
+    "reconstruct_sharded",
+    "stitch",
+]

@@ -40,6 +40,29 @@ class TestCommands:
         assert "Jaccard" in out
         assert "multi-Jaccard" in out
 
+    def test_reconstruct_sharded(self, capsys):
+        assert main(["reconstruct", "--dataset", "crime", "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded:" in out
+        assert "Jaccard" in out
+
+    def test_reconstruct_sharding_requires_marioh(self, capsys):
+        assert (
+            main(
+                [
+                    "reconstruct",
+                    "--dataset",
+                    "crime",
+                    "--method",
+                    "SHyRe-Count",
+                    "--shards",
+                    "2",
+                ]
+            )
+            == 2
+        )
+        assert "require MARIOH" in capsys.readouterr().out
+
     def test_reconstruct_writes_output(self, capsys, tmp_path):
         output = tmp_path / "recon.txt"
         assert (
