@@ -1,0 +1,211 @@
+"""The streaming daemon under load: throughput, coalescing, recovery.
+
+Drives a real ``python -m repro serve`` subprocess through the recorded
+1k-edit stream and measures the serving trajectory:
+
+- sustained edit throughput (chunked applies over one connection);
+- batched query throughput under concurrent pipelining clients, with
+  the coalescing ratio (engine batches per request) the linger window
+  buys;
+- kill-and-restart recovery: the daemon is SIGKILLed mid-stream
+  (checkpoints survive, the process does not), restarted on the same
+  checkpoint, and the client replays the remainder of the stream from
+  the ``edits_applied`` watermark - the final digest must equal the
+  one-shot ``reconstruct()`` of the whole stream.
+
+Metrics merge into ``BENCH_hotpath.json`` as ``serve_*`` keys; the CI
+``serve-smoke`` job runs this on every push.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from conftest import emit_json, merge_into_hotpath
+
+from repro.core.marioh import MARIOH
+from repro.hypergraph.graph import WeightedGraph
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.serve.client import ServeClient, drain
+from repro.serve.engine import random_edit_stream, replay_edits
+from repro.sharding.stitch import hypergraph_digest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: the recorded stream: 1k edits, mixed add/remove/reweight churn.
+STREAM_SEED = 17
+N_EDITS = 1_000
+N_NODES = 40
+#: edits applied before the SIGKILL (the rest replays after restart).
+KILL_AFTER = 600
+APPLY_CHUNK = 20
+QUERY_CLIENTS = 4
+QUERIES_PER_CLIENT = 50
+
+#: required keys of the serving trajectory; asserted below so a
+#: refactor cannot silently drop them from BENCH_hotpath.json.
+REQUIRED_SERVE_KEYS = (
+    "serve_n_edits",
+    "serve_edits_per_s",
+    "serve_batched_queries_per_s",
+    "serve_query_requests",
+    "serve_query_batches",
+    "serve_coalesce_ratio",
+    "serve_resume_edits",
+    "serve_resumed_from_checkpoint",
+    "serve_digest_parity",
+    "serve_result_digest",
+)
+
+
+def _train_hypergraph() -> Hypergraph:
+    hypergraph = Hypergraph()
+    for base in range(0, 30, 3):
+        hypergraph.add([base, base + 1, base + 2])
+        hypergraph.add([base, base + 1])
+    return hypergraph
+
+
+def _spawn(arguments, env):
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", *arguments],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    port = None
+    for line in process.stdout:
+        if line.startswith("serving on "):
+            port = int(line.rsplit(":", 1)[1])
+            break
+    if port is None:
+        process.kill()
+        raise RuntimeError("daemon never reported its port")
+    return process, port
+
+
+def test_serve_throughput_and_recovery():
+    stream = random_edit_stream(
+        STREAM_SEED, n_edits=N_EDITS, n_nodes=N_NODES
+    )
+    model = MARIOH(seed=0, phase2_scope="component", max_epochs=40)
+    model.fit(_train_hypergraph())
+    expected_digest = hypergraph_digest(
+        model.reconstruct(replay_edits(WeightedGraph(), stream))
+    )
+
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as workdir:
+        model_path = str(Path(workdir) / "model.json")
+        checkpoint = str(Path(workdir) / "serve.ckpt")
+        model.save(model_path)
+        base_args = ["--model", model_path, "--checkpoint", checkpoint,
+                     "--checkpoint-every", "200"]
+
+        # -- phase 1: sustained edit throughput -------------------------
+        process, port = _spawn(base_args, env)
+        try:
+            client = ServeClient("127.0.0.1", port)
+            started = time.perf_counter()
+            for start in range(0, KILL_AFTER, APPLY_CHUNK):
+                response = client.apply(stream[start:start + APPLY_CHUNK])
+                assert response["ok"], response
+            edit_seconds = time.perf_counter() - started
+            # Force a checkpoint at the watermark so the SIGKILL below
+            # cannot land before the first cadence write.
+            client.snapshot()
+
+            # -- phase 2: concurrent pipelined queries ------------------
+            errors: list = []
+
+            def query_worker():
+                try:
+                    with ServeClient("127.0.0.1", port) as peer:
+                        for index in range(QUERIES_PER_CLIENT):
+                            peer.send(
+                                {"op": "query" if index % 2 else "snapshot",
+                                 "id": index}
+                            )
+                        responses = drain(peer, QUERIES_PER_CLIENT)
+                        assert all(r["ok"] for r in responses)
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            before = client.stats()["server"]
+            query_started = time.perf_counter()
+            threads = [
+                threading.Thread(target=query_worker)
+                for _ in range(QUERY_CLIENTS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120.0)
+            query_seconds = time.perf_counter() - query_started
+            assert not errors, errors
+            after = client.stats()["server"]
+            query_requests = (
+                after["requests_total"] - before["requests_total"]
+            )
+            query_batches = after["batches_total"] - before["batches_total"]
+            # Coalescing must be visible under concurrent load.
+            assert 0 < query_batches < query_requests
+            client.close()
+
+            # -- phase 3: SIGKILL (no drain, no final checkpoint) -------
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+
+        # -- phase 4: restart, replay the remainder, compare digests ----
+        restarted, port = _spawn(base_args, env)
+        try:
+            with ServeClient("127.0.0.1", port) as client:
+                stats = client.stats()
+                assert stats["server"]["resumed_from_checkpoint"] == 1
+                watermark = int(stats["engine"]["edits_applied"])
+                assert 0 < watermark <= KILL_AFTER
+                for start in range(watermark, N_EDITS, APPLY_CHUNK):
+                    client.apply(stream[start:start + APPLY_CHUNK])
+                final = client.snapshot()
+                client.shutdown()
+            restarted.communicate(timeout=60)
+        finally:
+            if restarted.poll() is None:
+                restarted.kill()
+
+    assert final["edits_applied"] == N_EDITS
+    assert final["digest"] == expected_digest
+
+    metrics = {
+        "serve_n_edits": N_EDITS,
+        "serve_edits_per_s": round(KILL_AFTER / edit_seconds, 1),
+        "serve_batched_queries_per_s": round(
+            QUERY_CLIENTS * QUERIES_PER_CLIENT / query_seconds, 1
+        ),
+        "serve_query_requests": int(query_requests),
+        "serve_query_batches": int(query_batches),
+        "serve_coalesce_ratio": round(query_batches / query_requests, 3),
+        "serve_resume_edits": watermark,
+        "serve_resumed_from_checkpoint": 1,
+        "serve_digest_parity": bool(final["digest"] == expected_digest),
+        "serve_result_digest": final["digest"][:16],
+    }
+    assert set(metrics) == set(REQUIRED_SERVE_KEYS)
+    emit_json("BENCH_serve", metrics)
+    merge_into_hotpath(metrics)

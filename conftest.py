@@ -15,7 +15,39 @@ invocation's arguments or the rootdir), so both suites' knobs live here:
     ``matrix_seed`` parameter).  Defaults to a single seed locally; CI
     passes ``--seed-matrix 0,1,2`` so determinism tests cover three
     seeds.  Consumed by ``tests/conftest.py``.
+
+Markers are registered here too - the root conftest is the one initial
+conftest every invocation shares, so ``pytest -m faults benchmarks/``
+and ``pytest tests/`` see the same registry (a marker registered only
+under ``tests/`` is invisible - and warns as unknown - when pytest is
+pointed elsewhere).  ``tests/test_markers.py`` pins the registry.
 """
+
+#: (name, description) of every repo-wide marker, in documentation
+#: order.  The single source of truth: pytest_configure registers these
+#: and tests/test_markers.py asserts ``pytest --markers`` lists them.
+REPO_MARKERS = (
+    (
+        "seed_matrix",
+        "determinism test swept over the --seed-matrix seeds (via its "
+        "matrix_seed parameter); CI passes --seed-matrix 0,1,2",
+    ),
+    (
+        "faults",
+        "chaos/fault-injection property tests (grid-under-faults "
+        "determinism, corruption recovery); CI's chaos job runs -m faults",
+    ),
+    (
+        "soak",
+        "concurrency soak tests (threaded daemon clients, drain/restart "
+        "churn); the default profile stays fast, REPRO_SOAK=1 widens it",
+    ),
+)
+
+
+def pytest_configure(config):
+    for name, description in REPO_MARKERS:
+        config.addinivalue_line("markers", f"{name}: {description}")
 
 
 def pytest_addoption(parser):

@@ -14,6 +14,11 @@ Commands
     Shard a (method x dataset x seed) experiment grid over worker
     processes with checkpoint/resume, or drive a ``benchmarks/bench_*``
     script with a worker count.
+``serve``
+    Run the streaming reconstruction daemon: a long-lived line-JSON TCP
+    service that accepts projected-graph edits, keeps the reconstruction
+    live (byte-identical to one-shot ``reconstruct()``), coalesces
+    concurrent queries, and checkpoints through the verified store.
 """
 
 from __future__ import annotations
@@ -292,6 +297,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="instead of an inline grid, drive benchmarks/bench_<NAME>.py "
         "through pytest, forwarding --workers",
     )
+
+    serve = commands.add_parser(
+        "serve", help="run the streaming reconstruction daemon"
+    )
+    serve.add_argument(
+        "--model",
+        help="fitted MARIOH payload file (from MARIOH.save); when absent "
+        "the daemon fits on --fit-dataset at startup",
+    )
+    serve.add_argument(
+        "--fit-dataset", default="crime", choices=list(available()),
+        help="dataset whose source hypergraph to fit on when no --model "
+        "is given (default crime)",
+    )
+    serve.add_argument(
+        "--phase2-scope", default="component",
+        choices=["component", "global"],
+        help="Phase-2 quota scope of the startup fit: 'component' "
+        "(default) refreshes incrementally per connected component, "
+        "'global' is the paper's coupled rule (full recompute per "
+        "refresh); ignored with --model, which carries its own scope",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port; 0 (default) picks a free port, printed at startup",
+    )
+    serve.add_argument(
+        "--checkpoint",
+        help="sha256-verified checkpoint file: state persists here "
+        "periodically and a restart resumes from the newest verified copy",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=500,
+        help="applied-edit cadence between automatic checkpoints "
+        "(default 500)",
+    )
+    serve.add_argument(
+        "--batch-linger-ms", type=float, default=2.0,
+        help="milliseconds the engine waits after the first in-flight "
+        "request so concurrent requests coalesce into one batch "
+        "(default 2.0; 0 disables)",
+    )
     return parser
 
 
@@ -434,6 +484,62 @@ def _drive_bench(name: str, workers: int) -> int:
     return subprocess.call(command, env=env, cwd=repo_root)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.core.marioh import MARIOH
+    from repro.serve import StreamingReconstructor
+    from repro.serve.daemon import ReconstructionServer
+
+    if args.model:
+        model = MARIOH.load(args.model)
+        print(f"loaded model from {args.model} "
+              f"(phase2_scope={model.phase2_scope})")
+    else:
+        bundle = load(args.fit_dataset, seed=args.seed)
+        model = MARIOH(seed=args.seed, phase2_scope=args.phase2_scope)
+        model.fit(bundle.source_hypergraph)
+        print(f"fitted on {bundle.name} (phase2_scope={model.phase2_scope})")
+
+    engine = StreamingReconstructor(model)
+    server = ReconstructionServer(
+        engine,
+        host=args.host,
+        port=args.port,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        batch_linger=max(args.batch_linger_ms, 0.0) / 1000.0,
+    )
+    try:
+        server.start()
+    except RuntimeError as exc:
+        print(f"error: {exc}")
+        return 2
+    if server.stats["resumed_from_checkpoint"]:
+        print(f"resumed from checkpoint: {server.stats['resume_edits']} "
+              f"edit(s) already applied")
+    mode = "incremental (per-component)" if engine.incremental else \
+        "global (full recompute per refresh)"
+    print(f"refresh mode: {mode}")
+    # Parsed by subprocess harnesses; keep the format stable and flushed.
+    print(f"serving on {server.host}:{server.port}", flush=True)
+
+    def _signal_shutdown(signum: int, frame: object) -> None:
+        server.request_shutdown(reason=signal.Signals(signum).name)
+
+    signal.signal(signal.SIGTERM, _signal_shutdown)
+    signal.signal(signal.SIGINT, _signal_shutdown)
+    try:
+        server.wait()
+    finally:
+        server.close()
+    print(f"drained: {server.stats['requests_total']} request(s) in "
+          f"{server.stats['batches_total']} batch(es), "
+          f"{engine.stats['edits_applied']} edit(s) applied, "
+          f"{server.stats['checkpoints_written']} checkpoint(s) written")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import full_report
 
@@ -455,6 +561,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "storage": _cmd_storage,
         "report": _cmd_report,
         "run-grid": _cmd_run_grid,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,91 @@
+"""Minimal client for the reconstruction daemon's line-JSON protocol.
+
+Used by the test suite, the soak harness, and the serve benchmark; it
+is deliberately tiny (blocking socket, one JSON object per line) so it
+doubles as executable protocol documentation.  Supports both the
+synchronous request/response style (:meth:`ServeClient.request`) and
+explicit pipelining (:meth:`ServeClient.send` several requests, then
+:meth:`ServeClient.recv` the ordered responses) - pipelining is what
+makes the daemon's request coalescing observable from a single client.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, List, Optional, Sequence
+
+from repro.serve.protocol import encode
+
+
+class ServeClient:
+    """One connection to a :class:`~repro.serve.daemon.ReconstructionServer`."""
+
+    def __init__(
+        self, host: str, port: int, timeout: Optional[float] = 30.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("r", encoding="utf-8",
+                                           newline="\n")
+
+    # -- framing --------------------------------------------------------
+    def send(self, request: Dict[str, object]) -> None:
+        """Write one request line (without waiting for the response)."""
+        self._sock.sendall(encode(request))
+
+    def recv(self) -> Dict[str, object]:
+        """Read the next response line (responses arrive in send order)."""
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def request(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Send one request and block for its response."""
+        self.send(request)
+        return self.recv()
+
+    # -- convenience wrappers ------------------------------------------
+    def apply(self, edits: Sequence[Sequence[object]]) -> Dict[str, object]:
+        return self.request({"op": "apply", "edits": [list(e) for e in edits]})
+
+    def query(
+        self, nodes: Optional[Sequence[int]] = None
+    ) -> Dict[str, object]:
+        request: Dict[str, object] = {"op": "query"}
+        if nodes is not None:
+            request["nodes"] = list(nodes)
+        return self.request(request)
+
+    def snapshot(self, include_edges: bool = False) -> Dict[str, object]:
+        return self.request(
+            {"op": "snapshot", "include_edges": bool(include_edges)}
+        )
+
+    def stats(self) -> Dict[str, object]:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> Dict[str, object]:
+        return self.request({"op": "shutdown"})
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def drain(client: ServeClient, count: int) -> List[Dict[str, object]]:
+    """Collect ``count`` pipelined responses from ``client``, in order."""
+    return [client.recv() for _ in range(count)]

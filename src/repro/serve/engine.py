@@ -1,0 +1,416 @@
+"""The streaming reconstruction engine.
+
+:class:`StreamingReconstructor` maintains, under a stream of
+projected-graph edits, the exact hypergraph a one-shot
+:meth:`~repro.core.marioh.MARIOH.reconstruct` call would produce on the
+current graph.  Three existing mechanisms make that cheap:
+
+1. **In-place graph maintenance.**  Edits mutate one long-lived
+   :class:`~repro.hypergraph.graph.WeightedGraph`; weight-only edits
+   queue lazy CSR weight patches and structural edits tombstone /
+   slack-insert into the cached snapshot, so no edit triggers a full
+   snapshot rebuild (only compaction boundaries do - the PR 7
+   machinery, inherited wholesale).
+2. **Component decomposability.**  With ``phase2_scope="component"``
+   the reconstruction of a graph is exactly the disjoint union of the
+   reconstructions of its connected components (the sharded-parity
+   property).  The engine therefore caches reconstructed edge lists
+   per component, keyed by a content digest of the component's edges:
+   an edit dirties only the components of its endpoints, and a refresh
+   re-reconstructs exactly those, serving every untouched component
+   from cache.  Models with ``phase2_scope="global"`` still work - the
+   whole graph is treated as one "component" (a full recompute per
+   distinct graph state), trading incrementality for the paper's exact
+   quota rule.
+3. **Engine degradation.**  Each per-component reconstruction runs the
+   incremental :class:`~repro.core.pool.CliqueCandidatePool` engine
+   under MARIOH's per-iteration ``check_invariants`` audit; a violation
+   degrades that reconstruction to the rescan engine (counted in
+   :attr:`StreamingReconstructor.stats`).  The streaming layer adds its
+   own audit, :meth:`StreamingReconstructor.check_invariants`: live
+   graph snapshot incoherence rebuilds the graph from its own edge
+   list and drops every cached component.
+
+The module also hosts the edit vocabulary (:func:`normalize_edit`,
+:func:`apply_edit`) shared by the daemon, the parity test harness, and
+the benchmark replayer - one implementation, so "replay the same edits"
+means exactly that - plus :func:`random_edit_stream`, the seeded
+edit-stream generator the property/fuzz suites draw from.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hypergraph.graph import Node, WeightedGraph
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.rng import derive_seed
+from repro.sharding.stitch import hypergraph_digest
+
+#: the edit vocabulary, in documentation order.
+EDIT_OPS = ("add_edge", "remove_edge", "reweight")
+
+#: an edit, normalized: ``(op, u, v, amount)``.
+Edit = Tuple[str, Node, Node, int]
+
+
+def normalize_edit(edit: Sequence[object]) -> Edit:
+    """Validate and normalize one edit into ``(op, u, v, amount)``.
+
+    Accepts ``[op, u, v]`` or ``[op, u, v, amount]`` (lists or tuples,
+    e.g. straight out of a JSON request).  ``add_edge`` defaults its
+    increment to 1; ``remove_edge`` ignores any amount; ``reweight``
+    requires an explicit target weight (0 removes the edge).  Raises
+    ``ValueError`` on unknown ops, self-loops, non-integer endpoints,
+    or out-of-range amounts - *before* anything touches a graph, so a
+    malformed edit can never half-apply.
+    """
+    if not isinstance(edit, (list, tuple)) or not 3 <= len(edit) <= 4:
+        raise ValueError(
+            f"edit must be [op, u, v] or [op, u, v, amount], got {edit!r}"
+        )
+    op = edit[0]
+    if op not in EDIT_OPS:
+        raise ValueError(f"unknown edit op {op!r}; expected one of {EDIT_OPS}")
+    try:
+        u = int(edit[1])
+        v = int(edit[2])
+    except (TypeError, ValueError):
+        raise ValueError(f"edit endpoints must be integers, got {edit!r}")
+    if u == v:
+        raise ValueError(f"self-loops are not allowed (node {u})")
+    if op == "remove_edge":
+        return (op, u, v, 0)
+    if len(edit) == 4:
+        try:
+            amount = int(edit[3])
+        except (TypeError, ValueError):
+            raise ValueError(f"edit amount must be an integer, got {edit!r}")
+    elif op == "add_edge":
+        amount = 1
+    else:
+        raise ValueError("reweight requires an explicit target weight")
+    if op == "add_edge" and amount < 1:
+        raise ValueError(f"add_edge increments must be >= 1, got {amount}")
+    if op == "reweight" and amount < 0:
+        raise ValueError(f"reweight targets must be >= 0, got {amount}")
+    return (op, u, v, amount)
+
+
+def apply_edit(graph: WeightedGraph, edit: Sequence[object]) -> Edit:
+    """Apply one edit to ``graph``; returns the normalized form.
+
+    The single definition of edit semantics - the streaming engine, the
+    parity harness's batch replay, and the benchmark client all route
+    through here, so live and batch graphs can never drift:
+
+    - ``add_edge u v [w]``: add ``w`` (default 1) to the multiplicity;
+    - ``remove_edge u v``: delete the edge entirely (no-op if absent,
+      and an absent edge's endpoints are *not* created);
+    - ``reweight u v w``: set the multiplicity to ``w`` (0 removes).
+    """
+    op, u, v, amount = normalize_edit(edit)
+    if op == "add_edge":
+        graph.add_edge(u, v, amount)
+    elif op == "remove_edge":
+        graph.remove_edge(u, v)
+    else:
+        graph.set_weight(u, v, amount)
+    return (op, u, v, amount)
+
+
+def replay_edits(
+    graph: WeightedGraph, edits: Iterable[Sequence[object]]
+) -> WeightedGraph:
+    """Apply ``edits`` to ``graph`` in order; returns the graph."""
+    for edit in edits:
+        apply_edit(graph, edit)
+    return graph
+
+
+def component_digest(
+    edges: Sequence[Tuple[Node, Node, int]], nodes: Sequence[Node]
+) -> str:
+    """sha256 content key of one component's (sorted) edges and nodes.
+
+    A pure function of the component's content, so a component that an
+    edit stream tears down and later rebuilds identically resolves to
+    the same key - and the cached reconstruction is reused.
+    """
+    blob = json.dumps([list(nodes), [list(e) for e in edges]],
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _components(graph: WeightedGraph) -> List[List[Node]]:
+    """Connected components over non-isolated nodes, deterministically.
+
+    Components are discovered by BFS from ascending node ids and listed
+    by their smallest member, so the iteration order is a pure function
+    of the graph content.
+    """
+    seen: set = set()
+    components: List[List[Node]] = []
+    for start in sorted(graph.nodes):
+        if start in seen or graph.degree(start) == 0:
+            continue
+        frontier = [start]
+        seen.add(start)
+        members = []
+        while frontier:
+            node = frontier.pop()
+            members.append(node)
+            for neighbor in graph.neighbors(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        components.append(sorted(members))
+    return components
+
+
+class StreamingReconstructor:
+    """Keep a reconstruction continuously equal to one-shot output.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`~repro.core.marioh.MARIOH`.  With
+        ``phase2_scope="component"`` refreshes are incremental per
+        connected component; with ``"global"`` every refresh of a dirty
+        graph recomputes the whole reconstruction (both are exactly
+        parity-preserving against the same model's one-shot output).
+    graph:
+        Optional initial projected graph (copied); default empty.
+    max_cached_components:
+        Bound on the component-result cache (LRU eviction).
+
+    Notes
+    -----
+    The class is not thread-safe by itself; the daemon serializes all
+    access through its single engine thread.
+
+    The headline contract - for any edit sequence,
+    ``engine.reconstruction()`` is byte-identical to
+    ``model.reconstruct(g)`` where ``g`` is a fresh graph with the same
+    edits replayed - is pinned by ``tests/test_streaming_parity.py``.
+    """
+
+    def __init__(
+        self,
+        model,
+        graph: Optional[WeightedGraph] = None,
+        max_cached_components: int = 1024,
+    ) -> None:
+        if not model.is_fitted:
+            raise RuntimeError(
+                "StreamingReconstructor needs a fitted model; call fit() "
+                "or MARIOH.load() first"
+            )
+        if max_cached_components < 1:
+            raise ValueError(
+                f"max_cached_components must be >= 1, "
+                f"got {max_cached_components}"
+            )
+        self.model = model
+        self.graph = graph.copy() if graph is not None else WeightedGraph()
+        self.incremental = model.phase2_scope == "component"
+        self._max_cached = max_cached_components
+        #: component content digest -> canonical [(members, mult), ...]
+        self._cache: "OrderedDict[str, List[Tuple[List[Node], int]]]" = (
+            OrderedDict()
+        )
+        self._result: Optional[Hypergraph] = None
+        self._result_version: int = -1
+        self.stats: Dict[str, int] = {
+            "edits_applied": 0,
+            "edits_add": 0,
+            "edits_remove": 0,
+            "edits_reweight": 0,
+            "refresh_passes": 0,
+            "component_reconstructs": 0,
+            "component_cache_hits": 0,
+            "full_recomputes": 0,
+            "engine_fallbacks": 0,
+            "invariant_rebuilds": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Edits
+    # ------------------------------------------------------------------
+    def apply(self, edits: Iterable[Sequence[object]]) -> int:
+        """Apply a batch of edits in order; returns how many applied.
+
+        Every edit is validated *before* touching the graph (the whole
+        batch is rejected atomically on a malformed entry), then applied
+        through :func:`apply_edit`.  The memoized reconstruction is
+        invalidated lazily - nothing is recomputed until the next
+        :meth:`reconstruction` call, so bursts of edits between queries
+        cost exactly one refresh.
+        """
+        normalized = [normalize_edit(edit) for edit in edits]
+        counters = {"add_edge": "edits_add", "remove_edge": "edits_remove",
+                    "reweight": "edits_reweight"}
+        for edit in normalized:
+            apply_edit(self.graph, edit)
+            self.stats[counters[edit[0]]] += 1
+        self.stats["edits_applied"] += len(normalized)
+        return len(normalized)
+
+    # ------------------------------------------------------------------
+    # Reconstruction
+    # ------------------------------------------------------------------
+    def reconstruction(self) -> Hypergraph:
+        """The reconstruction of the current graph (refreshed if stale).
+
+        Byte-identical to ``model.reconstruct()`` on an identical
+        graph.  Clean calls (no edits since the last refresh) return
+        the memoized hypergraph without touching the model.
+        """
+        if (
+            self._result is not None
+            and self._result_version == self.graph.version
+        ):
+            return self._result
+        self.stats["refresh_passes"] += 1
+        result = Hypergraph(nodes=self.graph.nodes)
+        if self.incremental:
+            for members in _components(self.graph):
+                for edge_members, multiplicity in self._component_edges(
+                    members
+                ):
+                    result.add(edge_members, multiplicity)
+        elif not self.graph.is_empty():
+            # Global Phase-2 quota couples components, so the only
+            # exact refresh is a whole-graph recompute (still memoized
+            # per graph version, so repeated queries stay O(1)).
+            self.stats["full_recomputes"] += 1
+            result = self._reconstruct_subgraph(self.graph)
+        self._result = result
+        self._result_version = self.graph.version
+        return result
+
+    def digest(self) -> str:
+        """sha256 identity of the current reconstruction."""
+        return hypergraph_digest(self.reconstruction())
+
+    def _component_edges(
+        self, members: List[Node]
+    ) -> List[Tuple[List[Node], int]]:
+        """Canonical edge list of one component, via the LRU cache."""
+        subgraph = self.graph.subgraph(members)
+        edges = sorted(subgraph.edges_with_weights())
+        key = component_digest(edges, members)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self.stats["component_cache_hits"] += 1
+            return cached
+        self.stats["component_reconstructs"] += 1
+        from repro.sharding.stitch import canonical_edge_list
+
+        edge_list = canonical_edge_list(
+            self._reconstruct_subgraph(subgraph)
+        )
+        self._cache[key] = edge_list
+        while len(self._cache) > self._max_cached:
+            self._cache.popitem(last=False)
+        return edge_list
+
+    def _reconstruct_subgraph(self, graph: WeightedGraph) -> Hypergraph:
+        """One model pass, tracking incremental-engine fallbacks."""
+        result = self.model.reconstruct(graph)
+        if self.model.engine_fallback_ is not None:
+            self.stats["engine_fallbacks"] += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Self-audit
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> Optional[str]:
+        """Audit the live graph; degrade by rebuilding on violation.
+
+        Runs the graph's own snapshot-coherence audit (the same check
+        MARIOH's per-iteration engine degradation uses).  On violation
+        the live graph is rebuilt from its edge list - discarding the
+        possibly-corrupt snapshot and every derived cache - and the
+        component memo is dropped, so the next refresh re-derives
+        everything from clean state.  Returns the violation description
+        (after recovering) or ``None``.
+        """
+        violation = self.graph.check_snapshot_coherence()
+        if violation is None:
+            return None
+        self.stats["invariant_rebuilds"] += 1
+        rebuilt = WeightedGraph(nodes=self.graph.nodes)
+        for u, v, weight in self.graph.edges_with_weights():
+            rebuilt.add_edge(u, v, weight)
+        self.graph = rebuilt
+        self._cache.clear()
+        self._result = None
+        self._result_version = -1
+        return violation
+
+
+def random_edit_stream(
+    seed: int,
+    n_edits: int,
+    n_nodes: int = 24,
+    max_weight: int = 4,
+    p_add: float = 0.6,
+    p_remove: float = 0.2,
+) -> List[Edit]:
+    """Seeded random edit stream shared by tests and benchmarks.
+
+    A pure function of its arguments (seeded through
+    :func:`repro.rng.derive_seed` with a domain tag, so it cannot alias
+    any other subsystem's stream).  Removals and reweights are biased
+    toward currently-live edges - the stream tracks a weight mirror -
+    so streams exercise real structural churn (tombstones, slack
+    inserts, vanishing components) instead of mostly no-op removals;
+    some misses are kept on purpose (removing an absent edge must be a
+    no-op end to end).  The remaining probability mass
+    ``1 - p_add - p_remove`` goes to reweights, including occasional
+    reweight-to-zero (a structural delete in disguise).
+    """
+    if n_nodes < 2:
+        raise ValueError(f"need >= 2 nodes, got {n_nodes}")
+    if not 0.0 <= p_add + p_remove <= 1.0:
+        raise ValueError("p_add + p_remove must be within [0, 1]")
+    rng = np.random.default_rng(
+        derive_seed(seed, ("serve-edit-stream", n_edits, n_nodes))
+    )
+    weights: Dict[Tuple[Node, Node], int] = {}
+    edits: List[Edit] = []
+    for _ in range(n_edits):
+        roll = rng.random()
+        if weights and roll >= p_add and rng.random() < 0.8:
+            # Target a live edge (deterministic pick from sorted keys).
+            pairs = sorted(weights)
+            u, v = pairs[int(rng.integers(len(pairs)))]
+        else:
+            u = int(rng.integers(n_nodes))
+            v = int(rng.integers(n_nodes))
+            if u == v:
+                v = (v + 1) % n_nodes
+            u, v = (u, v) if u < v else (v, u)
+        if roll < p_add:
+            amount = int(rng.integers(1, max_weight + 1))
+            edit: Edit = ("add_edge", u, v, amount)
+            weights[(u, v)] = weights.get((u, v), 0) + amount
+        elif roll < p_add + p_remove:
+            edit = ("remove_edge", u, v, 0)
+            weights.pop((u, v), None)
+        else:
+            amount = int(rng.integers(0, max_weight + 1))
+            edit = ("reweight", u, v, amount)
+            if amount == 0:
+                weights.pop((u, v), None)
+            else:
+                weights[(u, v)] = amount
+        edits.append(edit)
+    return edits

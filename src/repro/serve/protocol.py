@@ -1,0 +1,90 @@
+"""Line-delimited JSON wire protocol of the reconstruction daemon.
+
+One request per line, one response line per request, in order.  Every
+request is a JSON object with an ``op`` field; an optional ``id`` is
+echoed back verbatim so pipelining clients can correlate.  Responses
+always carry ``ok`` (bool) and ``op``; failures carry ``error``.
+
+Requests
+--------
+``{"op": "apply", "edits": [["add_edge", u, v, w], ...]}``
+    Apply projected-graph edits in order (see
+    :func:`repro.serve.engine.normalize_edit` for the vocabulary).  The
+    batch is validated atomically: one malformed edit rejects the whole
+    request and applies nothing.
+``{"op": "query", "nodes": [u, ...]}``
+    Hyperedges of the *current* reconstruction that contain at least
+    one of ``nodes`` (omit ``nodes`` for the full edge list), each as
+    ``[members, multiplicity]``.
+``{"op": "snapshot", "include_edges": false}``
+    Reconstruction digest + sizes; ``include_edges`` adds the full
+    canonical edge list.  Also forces a checkpoint write when the
+    daemon has a checkpoint store.
+``{"op": "stats"}``
+    Server counters, engine counters, and live-graph sizes.
+``{"op": "shutdown"}``
+    Acknowledge, then drain queued requests, flush a final checkpoint,
+    and exit.
+
+The daemon coalesces whatever requests are in flight into one engine
+batch per drain (see docs/serving.md for the batching model); the
+protocol itself is oblivious to batching - ordering is per-connection
+FIFO either way.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+#: recognized request operations, in documentation order.
+OPS = ("apply", "query", "snapshot", "stats", "shutdown")
+
+
+class ProtocolError(ValueError):
+    """A request line that cannot be parsed into a valid request."""
+
+
+def encode(message: Dict[str, object]) -> bytes:
+    """One wire frame: compact JSON plus the line terminator."""
+    return (json.dumps(message, separators=(",", ":"), sort_keys=True)
+            + "\n").encode("utf-8")
+
+
+def decode_request(line: str) -> Dict[str, object]:
+    """Parse one request line; raises :class:`ProtocolError` when invalid."""
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(message).__name__}"
+        )
+    op = message.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; expected one of {OPS}")
+    return message
+
+
+def ok_response(op: str, request: Optional[Dict[str, object]] = None,
+                **fields: object) -> Dict[str, object]:
+    """A success response, echoing the request's ``id`` when present."""
+    response: Dict[str, object] = {"ok": True, "op": op}
+    if request is not None and "id" in request:
+        response["id"] = request["id"]
+    response.update(fields)
+    return response
+
+
+def error_response(message: str,
+                   request: Optional[Dict[str, object]] = None,
+                   ) -> Dict[str, object]:
+    """A failure response, echoing ``op``/``id`` when recoverable."""
+    response: Dict[str, object] = {"ok": False, "error": message}
+    if request is not None:
+        if "op" in request:
+            response["op"] = request["op"]
+        if "id" in request:
+            response["id"] = request["id"]
+    return response

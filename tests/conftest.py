@@ -12,17 +12,8 @@ from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.projection import project
 
 
-def pytest_configure(config):
-    config.addinivalue_line(
-        "markers",
-        "seed_matrix: determinism test swept over the --seed-matrix seeds "
-        "(via its matrix_seed parameter); CI passes --seed-matrix 0,1,2",
-    )
-    config.addinivalue_line(
-        "markers",
-        "faults: chaos/fault-injection property tests (grid-under-faults "
-        "determinism, corruption recovery); CI's chaos job runs -m faults",
-    )
+# Markers (seed_matrix, faults, soak) are registered centrally in the
+# root conftest.py so the benchmarks/ suite shares the registry.
 
 
 def pytest_generate_tests(metafunc):

@@ -1,0 +1,72 @@
+"""The repo-wide marker registry is centrally registered and visible.
+
+Markers must be registered in the *root* conftest.py (the one initial
+conftest shared by every invocation): registration under ``tests/``
+alone would leave ``pytest -m faults benchmarks/`` and marker-filtered
+CI jobs warning about unknown markers.  These tests pin both halves:
+the in-process registry, and the user-facing ``pytest --markers``
+listing produced by a fresh subprocess.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+EXPECTED = ("seed_matrix", "faults", "soak")
+
+
+def _root_conftest():
+    """Load the *root* conftest.py by path (the bare module name
+    ``conftest`` resolves to tests/conftest.py from in here)."""
+    spec = importlib.util.spec_from_file_location(
+        "repo_root_conftest", REPO_ROOT / "conftest.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+REPO_MARKERS = _root_conftest().REPO_MARKERS
+
+
+def test_registry_covers_expected_markers():
+    assert tuple(name for name, _ in REPO_MARKERS) == EXPECTED
+
+
+def test_registry_descriptions_are_nonempty():
+    for name, description in REPO_MARKERS:
+        assert description.strip(), f"marker {name} has no description"
+
+
+@pytest.fixture(scope="module")
+def markers_listing() -> str:
+    """``pytest --markers`` output of a fresh subprocess at the rootdir."""
+    result = subprocess.run(
+        [sys.executable, "-m", "pytest", "--markers"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", EXPECTED)
+def test_pytest_markers_lists(markers_listing: str, name: str):
+    assert f"@pytest.mark.{name}:" in markers_listing
+
+
+def test_registered_in_this_session(request):
+    """The live session registered every repo marker (no unknown-marker
+    warnings for marked tests anywhere in the repo)."""
+    lines = request.config.getini("markers")
+    registered = {line.split(":", 1)[0].strip() for line in lines}
+    for name in EXPECTED:
+        assert name in registered

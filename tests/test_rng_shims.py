@@ -1,0 +1,129 @@
+"""The RNG consolidation's deprecation shims and derivation parity.
+
+PR 8 consolidated the per-module SplitMix64 helpers into
+:mod:`repro.rng`; the historical private aliases stayed importable from
+``repro.core.search`` through a module ``__getattr__`` shim for one
+release cycle.  These tests pin the shim's contract (warns, returns the
+*identical* object, unknown names still raise) and the arithmetic
+parity of :func:`repro.rng.derive_seed` with the pre-consolidation
+per-module derivation chain, including golden values so the seeds -
+and every reconstruction derived from them - can never silently drift.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.core.search as search
+from repro import rng
+
+SHIMMED = ("_MASK64", "_mix64", "_mix64_int")
+
+
+# ---------------------------------------------------------------------------
+# The __getattr__ shim
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "alias, canonical",
+    [
+        ("_MASK64", rng.MASK64),
+        ("_mix64", rng.mix64),
+        ("_mix64_int", rng.mix64_int),
+    ],
+)
+def test_alias_warns_and_is_identical(alias, canonical):
+    with pytest.warns(DeprecationWarning, match=f"{alias} is deprecated"):
+        value = getattr(search, alias)
+    assert value is canonical
+
+
+def test_warning_names_the_replacement():
+    with pytest.warns(DeprecationWarning, match="repro.rng"):
+        search._mix64_int  # noqa: B018 - the access is the test
+
+
+def test_alias_registry_is_exactly_the_historical_set():
+    assert tuple(sorted(search._RNG_ALIASES)) == tuple(sorted(SHIMMED))
+
+
+def test_unknown_attribute_still_raises():
+    with pytest.raises(AttributeError, match="no attribute '_mix63'"):
+        search._mix63
+    with pytest.raises(AttributeError):
+        search.definitely_not_a_thing
+
+
+def test_regular_attributes_do_not_warn():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        assert callable(search.bidirectional_search)
+        assert callable(search.decay_threshold)
+        assert search.__name__ == "repro.core.search"
+
+
+# ---------------------------------------------------------------------------
+# derive_seed parity with the pre-consolidation chain
+# ---------------------------------------------------------------------------
+def legacy_derive(seed: int, tokens) -> int:
+    """The old per-module derivation, reimplemented from the historical
+    helpers the shim still exposes: a mix64_int chain folding string
+    bytes and masked ints, masked to 63 bits at the end."""
+    mask = search._RNG_ALIASES["_MASK64"]
+    mix_int = search._RNG_ALIASES["_mix64_int"]
+    state = mix_int(seed & mask)
+    for token in tokens:
+        if isinstance(token, str):
+            for byte in token.encode("utf-8"):
+                state = mix_int(state ^ byte)
+        else:
+            state = mix_int(state ^ (int(token) & mask))
+    return state & 0x7FFFFFFFFFFFFFFF
+
+
+@pytest.mark.parametrize("seed", [0, 1, 42, 2**63 - 1, 2**64 - 1])
+@pytest.mark.parametrize(
+    "tokens",
+    [
+        (),
+        ("shard-plan", 3),
+        ("cell", "MARIOH", "crime", 7),
+        (0, 0, 0),
+        ("serve-edit-stream", 60, 24),
+    ],
+)
+def test_derive_seed_matches_legacy_chain(seed, tokens):
+    assert rng.derive_seed(seed, tokens) == legacy_derive(seed, tokens)
+
+
+def test_derive_seed_golden_values():
+    """Pinned outputs: any change here changes every derived stream."""
+    assert rng.derive_seed(0, ()) == rng.mix64_int(0) & 0x7FFFFFFFFFFFFFFF
+    golden = {
+        (0, ("shard-plan", 0)): 655110352607201860,
+        (1, ("orchestrator-cell", 5)): 3592153116577991323,
+        (123, ("serve-edit-stream", 60, 24)): 3684134507590999755,
+    }
+    for (seed, tokens), expected in golden.items():
+        assert rng.derive_seed(seed, tokens) == expected, (seed, tokens)
+
+
+def test_derive_seed_range_and_determinism():
+    for seed in (0, 7, 2**62):
+        value = rng.derive_seed(seed, ("tag", seed))
+        assert 0 <= value < 2**63
+        assert value == rng.derive_seed(seed, ("tag", seed))
+    # Distinct domain tags decorrelate the streams.
+    assert rng.derive_seed(0, ("a",)) != rng.derive_seed(0, ("b",))
+
+
+def test_mix64_array_matches_mix64_int_scalar():
+    """The vectorized and scalar finalizers are the same permutation."""
+    values = np.array(
+        [0, 1, 2**32, 2**63, 2**64 - 1, 0xDEADBEEF], dtype=np.uint64
+    )
+    mixed = rng.mix64(values.copy())
+    for raw, out in zip(values.tolist(), mixed.tolist()):
+        assert rng.mix64_int(int(raw)) == int(out)

@@ -34,6 +34,7 @@ REQUIRED_DOCS = (
     "docs/benchmarks.md",
     "docs/performance.md",
     "docs/robustness.md",
+    "docs/serving.md",
     "docs/sharding.md",
 )
 
