@@ -103,6 +103,19 @@ REQUIRED_RETRY_KEYS = (
     "retry_byte_identical",
 )
 
+#: artifact-store warm-start keys written by test_store_warm_start: the
+#: measured hit rate of a repeat run against the content-addressed
+#: store, proof it stayed byte-identical, and the wall-clock saved.
+REQUIRED_STORE_KEYS = (
+    "store_cold_wall_seconds",
+    "store_warm_wall_seconds",
+    "store_warm_speedup",
+    "store_hit_rate",
+    "store_hits",
+    "store_misses",
+    "store_byte_identical",
+)
+
 
 def _throughput(fn, units: int, min_seconds: float = 0.5) -> float:
     """Units processed per second, timed over at least ``min_seconds``."""
@@ -488,6 +501,68 @@ def test_retry_overhead():
     )
 
 
+def test_store_warm_start(tmp_path, monkeypatch):
+    """Content-addressed store: a repeat grid run reuses verified bytes.
+
+    Runs the same small grid three times - storeless baseline, cold
+    (store empty, everything published), warm (same store, everything
+    reused) - and asserts the warm run's measured ``store_hit_rate`` is
+    >= 0.9 with all three results byte-identical.  The wall-clock delta
+    and the hit/miss counts land in BENCH_hotpath.json as the
+    ``store_*`` trajectory keys.
+    """
+    from repro.experiments.orchestrator import _load_bundle
+
+    spec = GridSpec(methods=("MARIOH",), datasets=("crime",), seeds=(0, 1))
+    baseline = run_grid(spec, workers=1)
+
+    monkeypatch.setenv("REPRO_STORE", str(tmp_path / "store"))
+    # The per-process bundle LRU would mask dataset-store traffic (and
+    # makes the cold/warm comparison unfair); clear it for each phase.
+    _load_bundle.cache_clear()
+    started = time.perf_counter()
+    cold = run_grid(spec, workers=1)
+    cold_wall = time.perf_counter() - started
+
+    _load_bundle.cache_clear()
+    started = time.perf_counter()
+    warm = run_grid(spec, workers=1)
+    warm_wall = time.perf_counter() - started
+
+    assert not cold.failures, cold.failures
+    byte_identical = (
+        baseline.canonical_json()
+        == cold.canonical_json()
+        == warm.canonical_json()
+    )
+    assert byte_identical, (
+        "store-warmed grid diverged from the storeless baseline"
+    )
+    hits = int(warm.stats["store_hits"])
+    misses = int(warm.stats["store_misses"])
+    hit_rate = warm.stats["store_hit_rate"]
+    assert hit_rate is not None, "warm run recorded no store traffic"
+    assert hit_rate >= 0.9, (
+        f"warm-run store hit rate {hit_rate:.2f} < 0.9 "
+        f"({hits} hits / {misses} misses)"
+    )
+    assert int(cold.stats["store_misses"]) > 0, (
+        "cold run never touched the store; warm hit rate is meaningless"
+    )
+
+    _merge_into_hotpath(
+        {
+            "store_cold_wall_seconds": round(cold_wall, 4),
+            "store_warm_wall_seconds": round(warm_wall, 4),
+            "store_warm_speedup": round(cold_wall / max(warm_wall, 1e-9), 3),
+            "store_hit_rate": round(float(hit_rate), 4),
+            "store_hits": hits,
+            "store_misses": misses,
+            "store_byte_identical": byte_identical,
+        }
+    )
+
+
 def test_hotpath_metrics_written():
     """BENCH_hotpath.json must carry the cache-hit-rate metrics.
 
@@ -505,6 +580,7 @@ def test_hotpath_metrics_written():
         + REQUIRED_GRID_KEYS
         + REQUIRED_RETRY_KEYS
         + REQUIRED_KERNEL_KEYS
+        + REQUIRED_STORE_KEYS
     )
     missing = [key for key in required if key not in payload]
     assert not missing, (

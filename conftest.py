@@ -16,6 +16,13 @@ invocation's arguments or the rootdir), so both suites' knobs live here:
     passes ``--seed-matrix 0,1,2`` so determinism tests cover three
     seeds.  Consumed by ``tests/conftest.py``.
 
+``--store DIR``
+    Content-addressed artifact store for the whole run: exported as
+    ``REPRO_STORE`` before any test executes, so dataset bundles and
+    fitted models are cached across tests (and across runs when DIR
+    persists) with sha256-verified reuse.  Unset by default - the suite
+    runs cold, byte-identical either way.
+
 Markers are registered here too - the root conftest is the one initial
 conftest every invocation shares, so ``pytest -m faults benchmarks/``
 and ``pytest tests/`` see the same registry (a marker registered only
@@ -48,6 +55,11 @@ REPO_MARKERS = (
 def pytest_configure(config):
     for name, description in REPO_MARKERS:
         config.addinivalue_line("markers", f"{name}: {description}")
+    store = config.getoption("--store", None)
+    if store:
+        import os
+
+        os.environ["REPRO_STORE"] = os.path.abspath(store)
 
 
 def pytest_addoption(parser):
@@ -62,4 +74,10 @@ def pytest_addoption(parser):
         default="0",
         help="comma-separated seeds for seed_matrix-marked determinism "
         "tests (CI uses 0,1,2)",
+    )
+    parser.addoption(
+        "--store",
+        default=None,
+        help="artifact-store directory exported as REPRO_STORE for the "
+        "whole run (warm-starts dataset/model loads; default: cold)",
     )

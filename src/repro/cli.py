@@ -147,12 +147,67 @@ def _cmd_storage(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_store_args(args: argparse.Namespace) -> None:
+    """Export the ``--store``/``--no-store`` choice as ``REPRO_STORE``.
+
+    The environment variable - not Python state - is the source of
+    truth, so orchestrator pool workers and ``--bench`` subprocesses
+    (which inherit the environment) resolve the same store as the
+    coordinator.  An empty value disables the store even when the
+    parent environment set one.
+    """
+    if getattr(args, "no_store", False):
+        os.environ["REPRO_STORE"] = ""
+    elif getattr(args, "store", None):
+        os.environ["REPRO_STORE"] = os.path.abspath(args.store)
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.store import default_store, registry_manifest
+
+    if args.manifest:
+        payload = registry_manifest(
+            names=args.datasets or None, seed=args.seed
+        )
+    else:
+        cache = default_store()
+        if cache is None:
+            print(
+                "no artifact store configured; pass --store DIR or set "
+                "REPRO_STORE"
+            )
+            return 2
+        payload = cache.summary()
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="MARIOH hypergraph reconstruction (ICDE 2025 reproduction)",
     )
     parser.add_argument("--seed", type=int, default=0, help="global RNG seed")
+    store_group = parser.add_mutually_exclusive_group()
+    store_group.add_argument(
+        "--store", metavar="DIR",
+        help="content-addressed artifact store directory: dataset "
+        "bundles and fitted models are cached there and reused on "
+        "sha256-verified hits (exported as REPRO_STORE so worker "
+        "processes inherit it)",
+    )
+    store_group.add_argument(
+        "--no-store", action="store_true",
+        help="disable the artifact store even if REPRO_STORE is set",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("datasets", help="list datasets with statistics")
@@ -214,6 +269,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--dataset", default="pschool", choices=list(available())
     )
     storage.add_argument("--input", help="hypergraph file instead of a dataset")
+
+    store = commands.add_parser(
+        "store",
+        help="inspect the artifact store / emit hashed dataset manifests",
+    )
+    store.add_argument(
+        "--manifest", action="store_true",
+        help="emit the hashed registry manifest (config hash + generated-"
+        "bundle sha256 + sizes per dataset) instead of the store summary",
+    )
+    store.add_argument(
+        "--datasets", nargs="*", choices=list(available()),
+        help="restrict the manifest to these datasets (default: all)",
+    )
+    store.add_argument("--output", help="write the JSON here instead of stdout")
 
     report = commands.add_parser(
         "report", help="run the condensed reproduction report"
@@ -442,6 +512,13 @@ def _cmd_run_grid(args: argparse.Namespace) -> int:
     stats = result.stats or {}
     if plan is not None or stats.get("retries"):
         print(format_resilience_summary(stats))
+    if stats.get("store_hits") or stats.get("store_misses"):
+        rate = stats.get("store_hit_rate")
+        print(
+            f"store: {stats['store_hits']} hit(s) / "
+            f"{stats['store_misses']} miss(es)"
+            + (f", hit rate {rate:.2f}" if rate is not None else "")
+        )
     if result.failures:
         print(f"\nFAILED: {len(result.failures)} cell(s) quarantined")
         print(format_quarantine_table(result.failures))
@@ -554,11 +631,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    _apply_store_args(args)
     handlers = {
         "datasets": _cmd_datasets,
         "reconstruct": _cmd_reconstruct,
         "evaluate": _cmd_evaluate,
         "storage": _cmd_storage,
+        "store": _cmd_store,
         "report": _cmd_report,
         "run-grid": _cmd_run_grid,
         "serve": _cmd_serve,

@@ -47,7 +47,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 VARIANTS = ("full", "no_multiplicity", "no_filtering", "no_bidirectional")
 
+#: store-key schema of cached fit results; bump whenever training
+#: semantics change so stale cached classifiers stop matching.
+FIT_SCHEMA = "repro-marioh-fit-v1"
+
 logger = logging.getLogger(__name__)
+
+
+class ModelLoadError(ValueError):
+    """A model file failed to load: torn/corrupt bytes, a non-model
+    file, an unsupported version, or a content-hash mismatch.
+
+    Subclasses :class:`ValueError` so pre-existing callers catching the
+    old bare errors keep working.
+    """
 
 
 def _sampling_seed(seed: Optional[int]) -> int:
@@ -234,6 +247,11 @@ class MARIOH:
         #: boundary sizes, partition/stitch timings, per-shard peak RSS.
         #: Empty on unsharded runs.
         self.shard_stats_: Dict[str, object] = {}
+        #: how the last fit() resolved against the artifact store:
+        #: ``True`` = restored from a verified cache hit, ``False`` =
+        #: trained cold and published, ``None`` = store disabled (or
+        #: ``seed=None``, which is never cached) or fit() not yet called.
+        self.fit_from_store_: Optional[bool] = None
 
     # ------------------------------------------------------------------
     @property
@@ -244,6 +262,7 @@ class MARIOH:
         self,
         source_hypergraph: Hypergraph,
         supervision_fraction: float = 1.0,
+        store=None,
     ) -> "MARIOH":
         """Train the clique classifier on the source hypergraph.
 
@@ -252,15 +271,57 @@ class MARIOH:
         used for features is taken over the *subsampled* hypergraph, so
         reduced supervision weakens both labels and features, as it would
         with a genuinely smaller source dataset.
+
+        ``store`` selects the artifact store consulted for a cached fit
+        (see :func:`repro.store.resolve_store`): ``None`` uses the
+        process default (``REPRO_STORE``), ``False`` forces a cold fit,
+        a path or :class:`~repro.store.ArtifactStore` uses that store.
+        A fit is cached under the sha256 of the (subsample-invariant)
+        source hypergraph plus a hash of every training-relevant knob;
+        a verified hit restores the classifier weights byte-identically
+        (JSON floats round-trip exactly) and sets
+        :attr:`fit_from_store_` to ``True``.  Models with ``seed=None``
+        train nondeterministically and are never cached.
         """
         with kernel_backends.use_backend(self.kernels):
-            return self._fit(source_hypergraph, supervision_fraction)
+            return self._fit(source_hypergraph, supervision_fraction, store)
+
+    def _fit_config(self, supervision_fraction: float) -> Dict[str, object]:
+        """Every knob that changes what ``_fit`` trains."""
+        return {
+            "schema": FIT_SCHEMA,
+            "supervision_fraction": supervision_fraction,
+            "variant": self.variant,
+            "hidden_sizes": list(self.hidden_sizes),
+            "negative_ratio": self.negative_ratio,
+            "max_epochs": self.max_epochs,
+            "seed": self.seed,
+        }
 
     def _fit(
         self,
         source_hypergraph: Hypergraph,
         supervision_fraction: float,
+        store=None,
     ) -> "MARIOH":
+        from repro.store import artifacts, manifest
+
+        self.fit_from_store_ = None
+        cache = artifacts.resolve_store(store) if self.seed is not None else None
+        input_sha = config_sha = None
+        if cache is not None:
+            input_sha = manifest.hypergraph_sha256(source_hypergraph)
+            config_sha = artifacts.config_hash(
+                self._fit_config(supervision_fraction)
+            )
+            cached = cache.get("model", input_sha, config_sha)
+            if cached is not None:
+                self._restore_classifier(self.loads(cached))
+                self.fit_from_store_ = True
+                self.stage_times_["load_sample"] = 0.0
+                self.stage_times_["train"] = 0.0
+                return self
+
         supervision = subsample_supervision(
             source_hypergraph, supervision_fraction, seed=self.seed
         )
@@ -270,7 +331,26 @@ class MARIOH:
         # (negative sampling + featurization), "train" = MLP fitting.
         self.stage_times_["load_sample"] = self.classifier.sample_seconds_
         self.stage_times_["train"] = self.classifier.train_seconds_
+        if cache is not None:
+            cache.put(
+                "model",
+                input_sha,
+                config_sha,
+                self.payload_bytes(),
+                extra_meta={"model": "MARIOH", "variant": self.variant},
+            )
+            self.fit_from_store_ = False
         return self
+
+    def _restore_classifier(self, fitted: "MARIOH") -> None:
+        """Adopt another instance's trained classifier (weights only).
+
+        ``self`` keeps its own search/engine configuration; only the
+        network the cached payload carries is taken over.
+        """
+        self.classifier._mlp = fitted.classifier._mlp
+        self.classifier._mlp.max_epochs = self.max_epochs
+        self.classifier._mlp.seed = self.seed
 
     def reconstruct(
         self,
@@ -442,11 +522,52 @@ class MARIOH:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path) -> None:
+    def payload_bytes(self) -> bytes:
+        """The payload-v2 bytes :meth:`save` would write.
+
+        Byte-for-byte what lands on disk and in the artifact store, so
+        one sha256 identifies a fitted model everywhere (file, store
+        entry, serve checkpoint).
+        """
+        import json
+
+        if not self.is_fitted:
+            raise RuntimeError("cannot serialize an unfitted model")
+        payload = {
+            "format": "repro-marioh",
+            "version": 2,
+            "theta_init": self.theta_init,
+            "r": self.r,
+            "alpha": self.alpha,
+            "phase2_scope": self.phase2_scope,
+            "variant": self.variant,
+            "hidden_sizes": list(self.hidden_sizes),
+            "negative_ratio": self.negative_ratio,
+            "max_epochs": self.max_epochs,
+            "engine": self.engine,
+            "seed": self.seed,
+            "classifier": self.classifier._mlp.to_dict(),
+        }
+        return json.dumps(payload).encode("utf-8")
+
+    def content_sha256(self) -> str:
+        """Hex sha256 of :meth:`payload_bytes` (the model's identity)."""
+        from repro.store.atomic import sha256_bytes
+
+        return sha256_bytes(self.payload_bytes())
+
+    def save(self, path) -> str:
         """Write the fitted model (config + classifier weights) as JSON.
 
         Supports the transfer workflow: train once on a source domain,
         ship the file, and reconstruct new datasets without retraining.
+
+        The write is atomic and durable (temp file -> flush -> fsync ->
+        rename, via :func:`repro.store.atomic_write_bytes`): a crash
+        mid-save leaves either the complete previous file or the
+        complete new one, never a torn JSON tail.  Returns the hex
+        sha256 of the written bytes so callers can record it in
+        manifests and verify the file on load.
 
         The payload-v2 format is a single JSON object::
 
@@ -466,44 +587,27 @@ class MARIOH:
         keys) are still readable by :meth:`load`; they fall back to the
         constructor defaults for those knobs.
         """
-        import json
+        from repro.store.atomic import atomic_write_bytes
 
-        if not self.is_fitted:
-            raise RuntimeError("cannot save an unfitted model")
-        payload = {
-            "format": "repro-marioh",
-            "version": 2,
-            "theta_init": self.theta_init,
-            "r": self.r,
-            "alpha": self.alpha,
-            "phase2_scope": self.phase2_scope,
-            "variant": self.variant,
-            "hidden_sizes": list(self.hidden_sizes),
-            "negative_ratio": self.negative_ratio,
-            "max_epochs": self.max_epochs,
-            "engine": self.engine,
-            "seed": self.seed,
-            "classifier": self.classifier._mlp.to_dict(),
-        }
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
+        return atomic_write_bytes(path, self.payload_bytes())
 
     @classmethod
-    def load(cls, path) -> "MARIOH":
-        """Rebuild a fitted model written by :meth:`save`."""
-        import json
-
+    def from_payload(cls, payload) -> "MARIOH":
+        """Rebuild a fitted model from a parsed payload dict."""
         from repro.ml.mlp import MLPClassifier
 
-        with open(path, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
+        if not isinstance(payload, dict):
+            raise ModelLoadError(
+                f"not a MARIOH model payload: expected a JSON object, "
+                f"got {type(payload).__name__}"
+            )
         if payload.get("format") != "repro-marioh":
-            raise ValueError(
+            raise ModelLoadError(
                 f"not a MARIOH model file: format={payload.get('format')!r}"
             )
         version = payload.get("version")
         if version not in (1, 2):
-            raise ValueError(f"unsupported version {version!r}")
+            raise ModelLoadError(f"unsupported version {version!r}")
         # Version 1 files predate classifier-hyperparameter persistence;
         # they fall back to the constructor defaults.
         classifier_kwargs = {}
@@ -513,25 +617,71 @@ class MARIOH:
                 "negative_ratio": payload["negative_ratio"],
                 "max_epochs": payload["max_epochs"],
             }
-        model = cls(
-            theta_init=payload["theta_init"],
-            r=payload["r"],
-            alpha=payload["alpha"],
-            # Additive in-place extension of payload v2; older files
-            # simply predate the knob and ran under the global rule.
-            phase2_scope=payload.get("phase2_scope", "global"),
-            variant=payload["variant"],
-            engine=payload.get("engine", "rescan"),
-            seed=payload.get("seed"),
-            **classifier_kwargs,
-        )
-        model.classifier._mlp = MLPClassifier.from_dict(payload["classifier"])
+        try:
+            model = cls(
+                theta_init=payload["theta_init"],
+                r=payload["r"],
+                alpha=payload["alpha"],
+                # Additive in-place extension of payload v2; older files
+                # simply predate the knob and ran under the global rule.
+                phase2_scope=payload.get("phase2_scope", "global"),
+                variant=payload["variant"],
+                engine=payload.get("engine", "rescan"),
+                seed=payload.get("seed"),
+                **classifier_kwargs,
+            )
+            model.classifier._mlp = MLPClassifier.from_dict(
+                payload["classifier"]
+            )
+        except KeyError as exc:
+            raise ModelLoadError(
+                f"incomplete MARIOH model payload: missing key {exc}"
+            ) from exc
         # from_dict restores architecture + weights but not training
         # knobs; re-apply them so a re-fit after load behaves like the
         # original model.
         model.classifier._mlp.max_epochs = model.max_epochs
         model.classifier._mlp.seed = model.seed
         return model
+
+    @classmethod
+    def loads(cls, data: bytes) -> "MARIOH":
+        """Rebuild a fitted model from :meth:`payload_bytes` bytes."""
+        import json
+
+        try:
+            payload = json.loads(data.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ModelLoadError(
+                f"truncated or corrupt MARIOH model data: {exc}"
+            ) from exc
+        return cls.from_payload(payload)
+
+    @classmethod
+    def load(cls, path, expected_sha256: Optional[str] = None) -> "MARIOH":
+        """Rebuild a fitted model written by :meth:`save`.
+
+        Raises :class:`ModelLoadError` (a :class:`ValueError`) on a
+        torn/corrupt file, a non-model file, or an unsupported version.
+        When ``expected_sha256`` is given (e.g. recorded by :meth:`save`
+        or a store manifest), the file's bytes must hash to it - a
+        mismatch means the file is not the model the caller pinned.
+        """
+        with open(path, "rb") as handle:
+            data = handle.read()
+        if expected_sha256 is not None:
+            from repro.store.atomic import sha256_bytes
+
+            actual = sha256_bytes(data)
+            if actual != expected_sha256:
+                raise ModelLoadError(
+                    f"model file {path} content mismatch: expected sha256 "
+                    f"{expected_sha256}, got {actual}"
+                )
+        try:
+            return cls.loads(data)
+        except ModelLoadError as exc:
+            raise ModelLoadError(f"cannot load model file {path}: {exc}") from exc
 
     def __repr__(self) -> str:
         return (

@@ -286,7 +286,7 @@ def available() -> Tuple[str, ...]:
     return tuple(sorted(DATASETS))
 
 
-def load(name: str, seed: int = 0) -> DatasetBundle:
+def load(name: str, seed: int = 0, store=None) -> DatasetBundle:
     """Generate dataset ``name`` deterministically and split it.
 
     The hypergraph is generated with ``seed``, split into halves by
@@ -302,6 +302,16 @@ def load(name: str, seed: int = 0) -> DatasetBundle:
         Same ``(name, seed)`` always yields a byte-identical bundle:
         generation, the timestamp split, and both projections are fully
         deterministic, with no dependence on global RNG state.
+    store : optional
+        Artifact-store selector (see :func:`repro.store.resolve_store`):
+        ``None`` uses the process default (the ``REPRO_STORE``
+        environment variable; disabled when unset), ``False`` forces
+        cold generation, a path or :class:`~repro.store.ArtifactStore`
+        uses that store.  The bundle is cached under the spec's config
+        hash plus ``seed``; a verified hit decodes the exact bytes the
+        cold path would produce (canonical encoding, property-tested
+        byte-identical), a corrupt entry is detected by sha256 and
+        regenerated.
 
     Returns
     -------
@@ -322,12 +332,27 @@ def load(name: str, seed: int = 0) -> DatasetBundle:
             f"unknown dataset {name!r}; available: {', '.join(available())}"
         )
     spec = DATASETS[key]
+
+    # Lazy import: repro.store.manifest imports this module.
+    from repro.store import artifacts, manifest
+
+    cache = artifacts.resolve_store(store)
+    input_sha = config_sha = None
+    if cache is not None:
+        input_sha = manifest.spec_config_hash(spec)
+        config_sha = artifacts.config_hash(
+            {"schema": manifest.BUNDLE_SCHEMA, "seed": seed}
+        )
+        cached = cache.get("bundle", input_sha, config_sha)
+        if cached is not None:
+            return manifest.bundle_from_bytes(cached)
+
     hypergraph, timestamps, labels = generate_group_hypergraph(
         spec.config, seed=seed
     )
     source, target = split_source_target(hypergraph, timestamps=timestamps)
     target_reduced = target.reduce_multiplicity()
-    return DatasetBundle(
+    bundle = DatasetBundle(
         name=spec.name,
         domain=spec.domain,
         hypergraph=hypergraph,
@@ -339,3 +364,12 @@ def load(name: str, seed: int = 0) -> DatasetBundle:
         target_graph_reduced=project(target_reduced),
         labels=labels if spec.has_labels else None,
     )
+    if cache is not None:
+        cache.put(
+            "bundle",
+            input_sha,
+            config_sha,
+            manifest.bundle_to_bytes(bundle),
+            extra_meta={"dataset": spec.name, "seed": seed},
+        )
+    return bundle

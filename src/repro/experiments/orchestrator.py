@@ -266,6 +266,7 @@ def _execute_cell(
     pool breakage, ``sleep:<seconds>`` hangs to exercise the watchdog.
     """
     from repro.experiments.harness import run_method
+    from repro.store import artifacts as store_artifacts
 
     method = str(payload["method"])
     kind = str(payload.get("kind", "experiment"))
@@ -278,6 +279,13 @@ def _execute_cell(
         "cell_seed": payload["cell_seed"],
         "attempt": attempt,
     }
+    # Artifact-store telemetry: everything this attempt loads or fits
+    # (bundles, models) goes through the default store when one is
+    # configured; the per-cell hit/miss delta lands on the record (and
+    # is aggregated into ``GridResult.stats``).  Run-varying cold vs
+    # warm, hence excluded from ``deterministic_payload``.
+    art_store = store_artifacts.default_store()
+    store_before = art_store.stats_snapshot() if art_store is not None else None
     backoff = float(payload.get("backoff_seconds") or 0.0)
     if backoff > 0.0:
         time.sleep(backoff)
@@ -343,6 +351,11 @@ def _execute_cell(
             error_class=classify_error(type(exc).__name__),
             error_message=str(exc),
             error_traceback=traceback.format_exc(),
+        )
+    if art_store is not None:
+        record["store_hits"] = art_store.stats["hits"] - store_before["hits"]
+        record["store_misses"] = (
+            art_store.stats["misses"] - store_before["misses"]
         )
     return record
 
@@ -787,6 +800,19 @@ def run_grid(
             elif event["event"] == "rollback":
                 stats["rollbacks"] += 1
     stats["fault_log"] = sorted(stats["fault_log"])
+    store_hits = sum(
+        int(record.get("store_hits", 0)) for record in cells.values()
+    )
+    store_misses = sum(
+        int(record.get("store_misses", 0)) for record in cells.values()
+    )
+    stats["store_hits"] = store_hits
+    stats["store_misses"] = store_misses
+    stats["store_hit_rate"] = (
+        store_hits / (store_hits + store_misses)
+        if (store_hits + store_misses)
+        else None
+    )
 
     return GridResult(
         spec,

@@ -29,11 +29,12 @@ only then closes connections.
 
 from __future__ import annotations
 
+import logging
 import queue
 import socket
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.resilience.checkpoint import CheckpointStore
 from repro.serve.engine import StreamingReconstructor
@@ -50,32 +51,50 @@ from repro.serve.protocol import (
 CHECKPOINT_FORMAT = "repro-serve"
 CHECKPOINT_VERSION = 1
 
+logger = logging.getLogger(__name__)
+
 
 class _Connection:
-    """One accepted client socket plus its reader state."""
+    """One accepted client socket plus its reader state.
 
-    def __init__(self, sock: socket.socket) -> None:
+    ``on_oserror`` observes every ``OSError`` the connection would
+    otherwise swallow (send failures, teardown), called as
+    ``on_oserror(where, exc)`` - the server counts and logs them so
+    flush failures are visible in the ``stats`` op instead of vanishing.
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        on_oserror: Optional[Callable[[str, OSError], None]] = None,
+    ) -> None:
         self.sock = sock
         self.closed = False
+        self._on_oserror = on_oserror
+
+    def _note(self, where: str, exc: OSError) -> None:
+        if self._on_oserror is not None:
+            self._on_oserror(where, exc)
 
     def send(self, message: Dict[str, object]) -> None:
         if self.closed:
             return
         try:
             self.sock.sendall(encode(message))
-        except OSError:
+        except OSError as exc:
             self.closed = True
+            self._note("send", exc)
 
     def close(self) -> None:
         self.closed = True
         try:
             self.sock.shutdown(socket.SHUT_RDWR)
-        except OSError:
-            pass
+        except OSError as exc:
+            self._note("shutdown", exc)
         try:
             self.sock.close()
-        except OSError:
-            pass
+        except OSError as exc:
+            self._note("close", exc)
 
 
 class ReconstructionServer:
@@ -134,9 +153,15 @@ class ReconstructionServer:
             "stats_requests_total": 0,
             "errors_total": 0,
             "checkpoints_written": 0,
+            "checkpoint_write_errors_total": 0,
             "resumed_from_checkpoint": 0,
             "resume_edits": 0,
+            "teardown_oserrors_total": 0,
         }
+        #: sha256 of the engine model's payload bytes, computed lazily
+        #: once and pinned into every checkpoint so a resume under a
+        #: different model is refused instead of silently served.
+        self._model_digest: Optional[str] = None
         self._queue: "queue.Queue[Tuple[Optional[_Connection], object]]" = (
             queue.Queue()
         )
@@ -189,14 +214,32 @@ class ReconstructionServer:
         self._engine_thread.join(timeout)
         return not self._engine_thread.is_alive()
 
+    def _note_oserror(self, where: str, exc: OSError) -> None:
+        """Count (and log) an OSError swallowed during socket teardown.
+
+        ``ENOTCONN`` from ``shutdown()`` is the normal peer-closed-first
+        race and logs at debug; anything else is a genuine flush/teardown
+        failure and logs at warning.  Either way the counter surfaces it
+        in the ``stats`` op payload.
+        """
+        self.stats["teardown_oserrors_total"] += 1
+        import errno
+
+        level = (
+            logging.DEBUG
+            if where == "shutdown" and exc.errno == errno.ENOTCONN
+            else logging.WARNING
+        )
+        logger.log(level, "socket %s failed: %s", where, exc)
+
     def close(self) -> None:
         """Tear everything down (idempotent; used by tests' finally)."""
         self._stopping.set()
         if self._listener is not None:
             try:
                 self._listener.close()
-            except OSError:
-                pass
+            except OSError as exc:
+                self._note_oserror("listener-close", exc)
         with self._conn_lock:
             connections = list(self._connections)
             self._connections.clear()
@@ -210,11 +253,23 @@ class ReconstructionServer:
     # ------------------------------------------------------------------
     # Checkpointing
     # ------------------------------------------------------------------
+    def _model_sha256(self) -> Optional[str]:
+        """Content identity of the served model (None when unfitted)."""
+        model = getattr(self.engine, "model", None)
+        if model is None or not model.is_fitted:
+            return None
+        if self._model_digest is None:
+            self._model_digest = model.content_sha256()
+        return self._model_digest
+
     def _checkpoint_payload(self) -> Dict[str, object]:
         graph = self.engine.graph
         return {
             "format": CHECKPOINT_FORMAT,
             "version": CHECKPOINT_VERSION,
+            # Additive to checkpoint v1: older checkpoints lack the key
+            # and skip the identity check on resume.
+            "model_sha256": self._model_sha256(),
             "edits_applied": self.engine.stats["edits_applied"],
             "nodes": sorted(graph.nodes),
             "edges": sorted(
@@ -224,9 +279,18 @@ class ReconstructionServer:
         }
 
     def _write_checkpoint(self) -> None:
+        """Flush a checkpoint; an OSError is counted and logged, not
+        swallowed silently and not fatal to the engine thread."""
         if self.store is None:
             return
-        self.store.write(self._checkpoint_payload())
+        try:
+            self.store.write(self._checkpoint_payload())
+        except OSError as exc:
+            self.stats["checkpoint_write_errors_total"] += 1
+            logger.warning(
+                "checkpoint write to %s failed: %s", self.store.path, exc
+            )
+            return
         self.stats["checkpoints_written"] += 1
         self._edits_at_checkpoint = self.engine.stats["edits_applied"]
 
@@ -258,6 +322,19 @@ class ReconstructionServer:
                 f"unsupported serve checkpoint version "
                 f"{payload.get('version')!r}"
             )
+        recorded_model = payload.get("model_sha256")
+        current_model = self._model_sha256()
+        if (
+            recorded_model is not None
+            and current_model is not None
+            and recorded_model != current_model
+        ):
+            raise RuntimeError(
+                f"serve checkpoint was written under model sha256 "
+                f"{recorded_model} but the server is running "
+                f"{current_model}; refusing to resume state produced by "
+                f"a different model"
+            )
         graph = self.engine.graph
         for node in payload.get("nodes", []):
             graph.add_node(int(node))
@@ -284,7 +361,7 @@ class ReconstructionServer:
                 sock, _ = self._listener.accept()
             except OSError:
                 return  # listener closed
-            connection = _Connection(sock)
+            connection = _Connection(sock, on_oserror=self._note_oserror)
             with self._conn_lock:
                 self._connections.append(connection)
             threading.Thread(
@@ -355,8 +432,8 @@ class ReconstructionServer:
         if self._listener is not None:
             try:
                 self._listener.close()
-            except OSError:
-                pass
+            except OSError as exc:
+                self._note_oserror("listener-close", exc)
         with self._conn_lock:
             connections = list(self._connections)
             self._connections.clear()

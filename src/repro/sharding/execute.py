@@ -20,18 +20,20 @@ the same file, so results are byte-identical at any worker count.
 from __future__ import annotations
 
 import dataclasses
+import json
 import os
 import shutil
 import sys
 import tempfile
 import time
-from functools import lru_cache
+from collections import OrderedDict
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.hypergraph.graph import WeightedGraph
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.io import read_weighted_graph, write_weighted_graph
+from repro.store.atomic import atomic_write_text, sha256_bytes, sha256_file
 from repro.sharding.plan import ShardPlan, partition
 from repro.sharding.stitch import (
     canonical_edge_list,
@@ -48,6 +50,7 @@ SHARD_METHOD = "reconstruct-shard"
 #: workdir file names.
 PLAN_FILE = "plan.json"
 MODEL_FILE = "model.json"
+MANIFEST_FILE = "manifest.json"
 SHARD_DIR = "shards"
 CHECKPOINT_FILE = "cells.ckpt.json"
 
@@ -131,24 +134,40 @@ def shard_file(workdir, index: int) -> Path:
     return Path(workdir) / SHARD_DIR / f"shard_{index:05d}.edges"
 
 
-@lru_cache(maxsize=4)
-def _load_model_cached(path: str, mtime_ns: int, size: int) -> "MARIOH":
-    """Per-process model cache, keyed by file identity (path + stat).
+#: per-process parsed-model cache, keyed by content sha256; small
+#: because one run shares one model and the entries hold MLP weights.
+_MODEL_CACHE: "OrderedDict[str, MARIOH]" = OrderedDict()
+_MODEL_CACHE_SIZE = 4
+
+
+def _load_model(path: str) -> "Tuple[MARIOH, str]":
+    """Load (and per-process cache) a payload-v2 model; returns the
+    parsed model and the hex sha256 of the file's bytes.
 
     Pool workers persist across cells, so each worker pays the JSON
-    parse once per model file instead of once per shard.  The stat key
-    means a rewritten file (same path, new content) is never served
-    stale.
+    parse + weight materialization once per model *content* instead of
+    once per shard.  The cache key is the sha256 of the bytes, never
+    stat metadata: a same-size in-place rewrite within mtime
+    granularity - which a ``(path, mtime_ns, size)`` key silently
+    serves stale - hashes differently and is parsed fresh, while path
+    aliases (relative vs absolute, symlinks) of identical bytes share
+    one entry.  The file is re-read and re-hashed on every call; only
+    the parse is skipped on a hit.
     """
-    del mtime_ns, size  # cache key only
-    from repro.core.marioh import MARIOH
+    with open(os.path.realpath(path), "rb") as handle:
+        data = handle.read()
+    digest = sha256_bytes(data)
+    model = _MODEL_CACHE.get(digest)
+    if model is None:
+        from repro.core.marioh import MARIOH
 
-    return MARIOH.load(path)
-
-
-def _load_model(path: str) -> "MARIOH":
-    stat = os.stat(path)
-    return _load_model_cached(path, stat.st_mtime_ns, stat.st_size)
+        model = MARIOH.loads(data)
+        _MODEL_CACHE[digest] = model
+        while len(_MODEL_CACHE) > _MODEL_CACHE_SIZE:
+            _MODEL_CACHE.popitem(last=False)
+    else:
+        _MODEL_CACHE.move_to_end(digest)
+    return model, digest
 
 
 def execute_shard_cell(payload: Dict[str, object]) -> Dict[str, object]:
@@ -162,7 +181,7 @@ def execute_shard_cell(payload: Dict[str, object]) -> Dict[str, object]:
     """
     workdir = str(payload["workdir"])
     index = int(payload["seed_index"])
-    model = _load_model(os.path.join(workdir, MODEL_FILE))
+    model, model_sha256 = _load_model(os.path.join(workdir, MODEL_FILE))
     graph = read_weighted_graph(shard_file(workdir, index))
     started = time.perf_counter()
     reconstruction = model.reconstruct(graph)
@@ -175,21 +194,40 @@ def execute_shard_cell(payload: Dict[str, object]) -> Dict[str, object]:
         "runtime_seconds": runtime,
         "n_iterations": model.n_iterations_,
         "peak_rss_mb": round(peak_rss_mb(), 2),
+        "model_sha256": model_sha256,
     }
 
 
 def _materialize_workdir(
     model: "MARIOH", graph: WeightedGraph, plan: ShardPlan, workdir: Path
-) -> None:
-    """Write the plan, the fitted model, and one edge file per shard."""
+) -> Dict[str, object]:
+    """Write the plan, the fitted model, one edge file per shard, and a
+    hashed manifest binding them; returns the manifest.
+
+    The manifest (written last, atomically) records the sha256 of the
+    model file and of every shard edge file, so a resumed or audited run
+    can verify the workdir matches the plan hash it claims.
+    """
     workdir.mkdir(parents=True, exist_ok=True)
     (workdir / SHARD_DIR).mkdir(exist_ok=True)
     plan.to_json(workdir / PLAN_FILE)
-    model.save(workdir / MODEL_FILE)
+    model_sha256 = model.save(workdir / MODEL_FILE)
+    shard_hashes = []
     for index, members in enumerate(plan.shards):
-        write_weighted_graph(
-            graph.subgraph(members), shard_file(workdir, index)
-        )
+        path = shard_file(workdir, index)
+        write_weighted_graph(graph.subgraph(members), path)
+        shard_hashes.append(sha256_file(path))
+    manifest = {
+        "schema": "repro-shard-workdir-v1",
+        "plan_hash": plan.plan_hash,
+        "model_sha256": model_sha256,
+        "shard_sha256": shard_hashes,
+    }
+    atomic_write_text(
+        workdir / MANIFEST_FILE,
+        json.dumps(manifest, sort_keys=True, indent=2),
+    )
+    return manifest
 
 
 def reconstruct_sharded(
@@ -236,7 +274,7 @@ def reconstruct_sharded(
     )
     try:
         write_started = time.perf_counter()
-        _materialize_workdir(model, target_graph, plan, workdir)
+        manifest = _materialize_workdir(model, target_graph, plan, workdir)
         write_seconds = time.perf_counter() - write_started
 
         spec = GridSpec(
@@ -288,6 +326,7 @@ def reconstruct_sharded(
     shard_rss = [float(record["peak_rss_mb"]) for record in records]
     model.shard_stats_ = {
         "plan_hash": plan.plan_hash,
+        "model_sha256": manifest["model_sha256"],
         "n_shards": plan.n_shards,
         "max_shard_edges": budget,
         "n_nodes": plan.n_nodes,

@@ -1,0 +1,59 @@
+"""Content-addressed artifact store and hashed dataset manifests.
+
+See ``docs/storage.md`` for the key-derivation scheme and the audit
+trail from a BENCH number back to input hashes.
+"""
+
+from repro.store.artifacts import (
+    ArtifactStore,
+    STORE_ENV,
+    clear_default_store,
+    config_hash,
+    default_store,
+    resolve_store,
+    set_default_store,
+    store_at,
+    using_store,
+)
+from repro.store.atomic import (
+    atomic_write_bytes,
+    atomic_write_text,
+    fsync_directory,
+    sha256_bytes,
+    sha256_file,
+)
+from repro.store.manifest import (
+    BUNDLE_SCHEMA,
+    bundle_from_bytes,
+    bundle_sha256,
+    bundle_to_bytes,
+    dataset_manifest,
+    hypergraph_sha256,
+    registry_manifest,
+    spec_config_hash,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "STORE_ENV",
+    "BUNDLE_SCHEMA",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "bundle_from_bytes",
+    "bundle_sha256",
+    "bundle_to_bytes",
+    "clear_default_store",
+    "config_hash",
+    "dataset_manifest",
+    "default_store",
+    "fsync_directory",
+    "hypergraph_sha256",
+    "registry_manifest",
+    "resolve_store",
+    "set_default_store",
+    "sha256_bytes",
+    "sha256_file",
+    "spec_config_hash",
+    "store_at",
+    "using_store",
+]

@@ -1,0 +1,285 @@
+"""The content-addressed derived-artifact store.
+
+:class:`ArtifactStore` caches expensive derived artifacts - generated
+dataset bundles, fitted payload-v2 models, and anything else expressible
+as bytes - on disk under a ``(kind, input sha256, config sha256)`` key.
+File identity is *content*, never stat metadata: a cached entry is only
+served after its bytes re-verify against the sha256 recorded at write
+time, so a flipped bit, a torn tail, or a concurrent writer is detected
+and treated as a miss (the entry is dropped and recomputed) instead of
+being silently trusted.
+
+Layout::
+
+    <root>/<kind>/<key[:2]>/<key>.blob    # the artifact bytes
+    <root>/<kind>/<key[:2]>/<key>.json    # its manifest entry
+
+where ``key = sha256(input_sha256 + ":" + config_sha256)``.  The
+manifest entry is written *after* the blob (both atomically, see
+:mod:`repro.store.atomic`), so a put interrupted between the two files
+reads back as a clean miss.
+
+The process-wide default store is resolved from the ``REPRO_STORE``
+environment variable (a directory path; empty/unset disables caching)
+or an explicit :func:`set_default_store` override - tests use the
+:func:`using_store` context manager.  Environment-based resolution is
+what lets orchestrator pool workers (which inherit the environment, not
+Python state) share the same store as the coordinator.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+from repro.store.atomic import atomic_write_bytes, sha256_bytes
+
+#: environment variable naming the default store directory.
+STORE_ENV = "REPRO_STORE"
+
+#: manifest-entry schema tag; bumped if the entry layout ever changes.
+ENTRY_SCHEMA = "repro-store-entry-v1"
+
+
+def config_hash(config: object) -> str:
+    """Hex sha256 of a JSON-able config, canonically serialized.
+
+    The "code-relevant config" half of every store key: any change to
+    the dict (a knob, a schema tag bumped on algorithm change) yields a
+    different key, so stale artifacts can never be served across
+    configs.  Tuples serialize as lists; keys are sorted.
+    """
+    canonical = json.dumps(
+        config, sort_keys=True, separators=(",", ":"), default=list
+    )
+    return sha256_bytes(canonical.encode("utf-8"))
+
+
+class ArtifactStore:
+    """Content-addressed cache of derived artifacts under one root."""
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = Path(root)
+        #: cumulative counters of this instance: cache ``hits`` /
+        #: ``misses``, ``puts``, sha256-verification failures
+        #: (``corrupt_detected``), and byte volumes.
+        self.stats: Dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "puts": 0,
+            "corrupt_detected": 0,
+            "bytes_read": 0,
+            "bytes_written": 0,
+        }
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def entry_key(input_sha256: str, config_sha256: str) -> str:
+        """The store key of one ``(input, config)`` pair."""
+        return sha256_bytes(f"{input_sha256}:{config_sha256}".encode("ascii"))
+
+    def _paths(self, kind: str, key: str) -> tuple:
+        shard = self.root / kind / key[:2]
+        return shard / f"{key}.blob", shard / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def get(
+        self, kind: str, input_sha256: str, config_sha256: str
+    ) -> Optional[bytes]:
+        """The cached artifact bytes, or ``None`` on miss.
+
+        A hit requires the manifest entry to parse *and* the blob bytes
+        to re-verify against the recorded sha256; anything less drops
+        the entry (both files) and counts as ``corrupt_detected`` plus a
+        miss, so the caller recomputes instead of consuming garbage.
+        """
+        key = self.entry_key(input_sha256, config_sha256)
+        blob_path, meta_path = self._paths(kind, key)
+        meta = self._read_meta(meta_path)
+        if meta is None:
+            self.stats["misses"] += 1
+            return None
+        try:
+            data = blob_path.read_bytes()
+        except OSError:
+            self._drop(blob_path, meta_path)
+            self.stats["misses"] += 1
+            return None
+        if sha256_bytes(data) != meta.get("sha256"):
+            self.stats["corrupt_detected"] += 1
+            self._drop(blob_path, meta_path)
+            self.stats["misses"] += 1
+            return None
+        self.stats["hits"] += 1
+        self.stats["bytes_read"] += len(data)
+        return data
+
+    def put(
+        self,
+        kind: str,
+        input_sha256: str,
+        config_sha256: str,
+        data: bytes,
+        extra_meta: Optional[Dict[str, object]] = None,
+    ) -> str:
+        """Publish ``data`` under the key; returns the blob's sha256.
+
+        The blob lands first, its manifest entry second, both through
+        the fsync-before-rename path - a crash between the two leaves a
+        blob without an entry, which reads back as a miss and is simply
+        overwritten by the next put.
+        """
+        key = self.entry_key(input_sha256, config_sha256)
+        blob_path, meta_path = self._paths(kind, key)
+        digest = atomic_write_bytes(blob_path, data)
+        meta: Dict[str, object] = {
+            "schema": ENTRY_SCHEMA,
+            "kind": kind,
+            "key": key,
+            "input_sha256": input_sha256,
+            "config_sha256": config_sha256,
+            "sha256": digest,
+            "n_bytes": len(data),
+        }
+        if extra_meta:
+            meta.update(extra_meta)
+        atomic_write_bytes(
+            meta_path,
+            json.dumps(meta, sort_keys=True, indent=2).encode("utf-8"),
+        )
+        self.stats["puts"] += 1
+        self.stats["bytes_written"] += len(data)
+        return digest
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _read_meta(meta_path: Path) -> Optional[Dict[str, object]]:
+        try:
+            payload = json.loads(meta_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    @staticmethod
+    def _drop(blob_path: Path, meta_path: Path) -> None:
+        for path in (meta_path, blob_path):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        """``hits / (hits + misses)`` of this instance (1.0 when idle)."""
+        total = self.stats["hits"] + self.stats["misses"]
+        return self.stats["hits"] / total if total else 1.0
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        return dict(self.stats)
+
+    def entries(self) -> Iterator[Dict[str, object]]:
+        """Every verified manifest entry currently in the store."""
+        if not self.root.exists():
+            return
+        for meta_path in sorted(self.root.glob("*/*/*.json")):
+            meta = self._read_meta(meta_path)
+            if meta is not None:
+                yield meta
+
+    def summary(self) -> Dict[str, object]:
+        """Per-kind entry counts and byte totals (the audit overview)."""
+        kinds: Dict[str, Dict[str, int]] = {}
+        for meta in self.entries():
+            bucket = kinds.setdefault(
+                str(meta.get("kind", "?")), {"entries": 0, "n_bytes": 0}
+            )
+            bucket["entries"] += 1
+            bucket["n_bytes"] += int(meta.get("n_bytes", 0))
+        return {
+            "root": str(self.root),
+            "kinds": kinds,
+            "entries": sum(b["entries"] for b in kinds.values()),
+            "n_bytes": sum(b["n_bytes"] for b in kinds.values()),
+        }
+
+
+# ----------------------------------------------------------------------
+# Default-store resolution
+# ----------------------------------------------------------------------
+_UNSET = object()
+_override: object = _UNSET
+#: one instance per resolved root, so hit/miss counters accumulate
+#: process-wide instead of resetting at every resolution.
+_by_root: Dict[str, ArtifactStore] = {}
+
+
+def store_at(root: Union[str, os.PathLike]) -> ArtifactStore:
+    """The (per-process, cached) store instance rooted at ``root``."""
+    key = os.path.realpath(os.fspath(root))
+    store = _by_root.get(key)
+    if store is None:
+        store = _by_root[key] = ArtifactStore(root)
+    return store
+
+
+def default_store() -> Optional[ArtifactStore]:
+    """The process default: the override if set, else ``REPRO_STORE``.
+
+    Returns ``None`` when caching is disabled (no override, and the
+    environment variable is unset or empty).
+    """
+    if _override is not _UNSET:
+        return _override  # type: ignore[return-value]
+    root = os.environ.get(STORE_ENV, "")
+    return store_at(root) if root else None
+
+
+def set_default_store(store: Optional[ArtifactStore]) -> None:
+    """Override the default store (``None`` disables caching outright)."""
+    global _override
+    _override = store
+
+
+def clear_default_store() -> None:
+    """Drop the override; resolution falls back to ``REPRO_STORE``."""
+    global _override
+    _override = _UNSET
+
+
+@contextlib.contextmanager
+def using_store(store: Optional[ArtifactStore]):
+    """Scoped :func:`set_default_store` (the test idiom)."""
+    global _override
+    previous = _override
+    _override = store
+    try:
+        yield store
+    finally:
+        _override = previous
+
+
+def resolve_store(store: object = None) -> Optional[ArtifactStore]:
+    """Normalize a ``store=`` argument into an instance or ``None``.
+
+    ``None`` resolves to the process default (override, then the
+    ``REPRO_STORE`` environment variable), ``False`` disables caching
+    for this call regardless of the default, a path opens (or reuses)
+    the store rooted there, and an :class:`ArtifactStore` passes
+    through.
+    """
+    if store is None:
+        return default_store()
+    if store is False:
+        return None
+    if isinstance(store, ArtifactStore):
+        return store
+    if isinstance(store, (str, os.PathLike)):
+        return store_at(store)
+    raise TypeError(
+        f"store must be None, False, a path, or an ArtifactStore; "
+        f"got {type(store).__name__}"
+    )

@@ -36,6 +36,7 @@ REQUIRED_DOCS = (
     "docs/robustness.md",
     "docs/serving.md",
     "docs/sharding.md",
+    "docs/storage.md",
 )
 
 
